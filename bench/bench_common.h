@@ -1,0 +1,45 @@
+// Shared helpers for the table-reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hypergraph/mcnc_suite.h"
+#include "util/cli.h"
+#include "util/rng.h"
+
+namespace prop::bench {
+
+/// Paper-style improvement percentage: (cut improvement / larger cutset) * 100.
+inline double improvement_pct(double ours, double theirs) {
+  const double larger = ours > theirs ? ours : theirs;
+  if (larger <= 0.0) return 0.0;
+  return (theirs - ours) / larger * 100.0;
+}
+
+/// Circuit subset selection: full Table 1 suite by default; --fast keeps a
+/// representative 4-circuit subset; --circuit NAME picks one.
+inline std::vector<std::string> circuit_names(const CliArgs& args) {
+  if (const auto one = args.get("circuit")) return {*one};
+  if (args.get_bool_or("fast", false)) {
+    return {"balu", "struct", "t3", "p2"};
+  }
+  std::vector<std::string> names;
+  for (const auto& spec : mcnc_specs()) names.push_back(spec.name);
+  return names;
+}
+
+/// Scales a paper run count by --runs-scale (e.g. 0.2 for smoke runs).
+inline int scaled_runs(const CliArgs& args, int paper_runs) {
+  const double scale = args.get_double_or("runs-scale", 1.0);
+  const int runs = static_cast<int>(paper_runs * scale + 0.5);
+  return runs < 1 ? 1 : runs;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace prop::bench

@@ -1,0 +1,124 @@
+// Table 2 reproduction: cutset sizes under the 50-50% balance criterion.
+//
+// Columns as in the paper: FM100, FM40, FM20 (best of 100/40/20 runs —
+// computed from one 100-run sweep so FM20/FM40 are prefixes of FM100,
+// mirroring "FM run on 20, 40 and 100 initial random partitions"), LA-2 and
+// LA-3 (20 runs each), WINDOW (clustering + FM final phase), PROP
+// (20 runs, paper parameters), then PROP's improvement percentages and the
+// LA-2 x40 comparison quoted in the table caption.
+//
+// Flags: --fast (4 circuits), --circuit NAME, --runs-scale 0.2, --seed N.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/window.h"
+#include "core/prop_partitioner.h"
+#include "fm/fm_partitioner.h"
+#include "hypergraph/mcnc_suite.h"
+#include "la/la_partitioner.h"
+#include "partition/runner.h"
+#include "util/cli.h"
+
+namespace {
+
+double best_prefix(const std::vector<double>& cuts, std::size_t count) {
+  double best = cuts.front();
+  for (std::size_t i = 1; i < count && i < cuts.size(); ++i) {
+    best = std::min(best, cuts[i]);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const prop::CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const int fm_runs = prop::bench::scaled_runs(args, 100);
+  const int la_runs = prop::bench::scaled_runs(args, 20);
+  const int la2x_runs = prop::bench::scaled_runs(args, 40);
+  const int prop_runs = prop::bench::scaled_runs(args, 20);
+
+  std::printf("Table 2: cutset sizes, 50-50%% balance "
+              "(FM%d/%d/%d, LA-2/LA-3 x%d, WINDOW, PROP x%d)\n\n",
+              fm_runs, std::max(fm_runs * 2 / 5, 1), std::max(fm_runs / 5, 1),
+              la_runs, prop_runs);
+  std::printf("%-10s %7s %7s %7s %7s %7s %7s %7s | %7s %7s %7s\n", "circuit",
+              "FM100", "FM40", "FM20", "LA-2", "LA-3", "WINDOW", "PROP",
+              "%FM100", "%LA-2", "%WIN");
+  prop::bench::print_rule(110);
+
+  double tot_fm100 = 0, tot_fm40 = 0, tot_fm20 = 0, tot_la2 = 0, tot_la3 = 0,
+         tot_win = 0, tot_prop = 0, tot_la2x40 = 0;
+
+  for (const auto& name : prop::bench::circuit_names(args)) {
+    const prop::Hypergraph g = prop::make_mcnc_circuit(name);
+    const prop::BalanceConstraint balance =
+        prop::BalanceConstraint::fifty_fifty(g);
+
+    prop::FmPartitioner fm;
+    const prop::MultiRunResult fm_sweep =
+        prop::run_many(fm, g, balance, fm_runs, prop::mix_seed(seed, 0));
+    const double fm100 = best_prefix(fm_sweep.cuts, fm_sweep.cuts.size());
+    const double fm40 = best_prefix(
+        fm_sweep.cuts, std::max<std::size_t>(fm_sweep.cuts.size() * 2 / 5, 1));
+    const double fm20 = best_prefix(
+        fm_sweep.cuts, std::max<std::size_t>(fm_sweep.cuts.size() / 5, 1));
+
+    prop::LaPartitioner la2({2});
+    prop::LaPartitioner la3({3});
+    const prop::MultiRunResult la2_sweep =
+        prop::run_many(la2, g, balance, la2x_runs, prop::mix_seed(seed, 1));
+    const double la2_cut = best_prefix(
+        la2_sweep.cuts,
+        std::min<std::size_t>(la2_sweep.cuts.size(),
+                              static_cast<std::size_t>(la_runs)));
+    const double la2x40_cut = best_prefix(la2_sweep.cuts, la2_sweep.cuts.size());
+    const double la3_cut =
+        prop::run_many(la3, g, balance, la_runs, prop::mix_seed(seed, 2))
+            .best_cut();
+
+    prop::WindowPartitioner window;
+    const double win_cut =
+        window.run(g, balance, prop::mix_seed(seed, 3)).cut_cost;
+
+    prop::PropPartitioner prop_algo;
+    const double prop_cut =
+        prop::run_many(prop_algo, g, balance, prop_runs, prop::mix_seed(seed, 4))
+            .best_cut();
+
+    tot_fm100 += fm100;
+    tot_fm40 += fm40;
+    tot_fm20 += fm20;
+    tot_la2 += la2_cut;
+    tot_la2x40 += la2x40_cut;
+    tot_la3 += la3_cut;
+    tot_win += win_cut;
+    tot_prop += prop_cut;
+
+    std::printf("%-10s %7.0f %7.0f %7.0f %7.0f %7.0f %7.0f %7.0f | %7.1f %7.1f %7.1f\n",
+                name.c_str(), fm100, fm40, fm20, la2_cut, la3_cut, win_cut,
+                prop_cut, prop::bench::improvement_pct(prop_cut, fm100),
+                prop::bench::improvement_pct(prop_cut, la2_cut),
+                prop::bench::improvement_pct(prop_cut, win_cut));
+  }
+
+  prop::bench::print_rule(110);
+  std::printf("%-10s %7.0f %7.0f %7.0f %7.0f %7.0f %7.0f %7.0f | %7.1f %7.1f %7.1f\n",
+              "Total", tot_fm100, tot_fm40, tot_fm20, tot_la2, tot_la3,
+              tot_win, tot_prop,
+              prop::bench::improvement_pct(tot_prop, tot_fm100),
+              prop::bench::improvement_pct(tot_prop, tot_la2),
+              prop::bench::improvement_pct(tot_prop, tot_win));
+  std::printf("\nPROP vs FM20: %.1f%%   PROP vs FM40: %.1f%%   "
+              "PROP vs LA-3: %.1f%%   PROP vs LA-2(x%d): %.1f%%\n",
+              prop::bench::improvement_pct(tot_prop, tot_fm20),
+              prop::bench::improvement_pct(tot_prop, tot_fm40),
+              prop::bench::improvement_pct(tot_prop, tot_la3), la2x_runs,
+              prop::bench::improvement_pct(tot_prop, tot_la2x40));
+  std::printf("(paper: PROP 30%% over FM20, 22.3%% over FM100, 27.3%% over "
+              "LA-2, 16.6%% over LA-3, 25.9%% over WINDOW)\n");
+  return 0;
+}

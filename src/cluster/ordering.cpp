@@ -1,0 +1,67 @@
+#include "cluster/ordering.h"
+
+#include <limits>
+
+namespace prop {
+namespace {
+
+/// Adds (sign = +1) or removes (sign = -1) node u's contribution to the
+/// attraction of its unordered neighbors.
+void adjust_attraction(const Hypergraph& g, NodeId u, double sign,
+                       const std::vector<char>& ordered,
+                       std::vector<double>& attraction) {
+  for (const NetId n : g.nets_of(u)) {
+    const std::size_t s = g.net_size(n);
+    if (s < 2) continue;
+    const double w = sign * g.net_cost(n) / static_cast<double>(s - 1);
+    for (const NodeId v : g.pins_of(n)) {
+      if (v != u && !ordered[v]) attraction[v] += w;
+    }
+  }
+}
+
+}  // namespace
+
+OrderingResult window_ordering(const Hypergraph& g, std::size_t window,
+                               Rng& rng) {
+  const NodeId n = g.num_nodes();
+  OrderingResult out;
+  out.order.reserve(n);
+  out.attraction.reserve(n);
+
+  std::vector<char> ordered(n, 0);
+  std::vector<double> attraction(n, 0.0);
+
+  const NodeId seed = n > 0 ? static_cast<NodeId>(rng.bounded(n)) : 0;
+  NodeId next = seed;
+  double next_attraction = 0.0;
+
+  for (NodeId step = 0; step < n; ++step) {
+    const NodeId u = next;
+    out.order.push_back(u);
+    out.attraction.push_back(next_attraction);
+    ordered[u] = 1;
+    adjust_attraction(g, u, +1.0, ordered, attraction);
+    if (window > 0 && out.order.size() > window) {
+      adjust_attraction(g, out.order[out.order.size() - 1 - window], -1.0,
+                        ordered, attraction);
+    }
+    if (step + 1 == n) break;
+
+    // Highest-attraction unordered node; ties and isolated components fall
+    // back to the lowest id (deterministic).
+    NodeId best = kInvalidNode;
+    double best_val = -std::numeric_limits<double>::infinity();
+    for (NodeId v = 0; v < n; ++v) {
+      if (!ordered[v] && attraction[v] > best_val) {
+        best_val = attraction[v];
+        best = v;
+      }
+    }
+    next = best;
+    next_attraction = best_val > 0.0 ? best_val : 0.0;
+  }
+  return out;
+}
+
+}  // namespace prop

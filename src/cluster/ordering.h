@@ -1,0 +1,30 @@
+// Attraction-based vertex ordering (Alpert & Kahng, ICCAD 1994) — the
+// ordering phase of the WINDOW comparator.
+//
+// Starting from a seed, repeatedly appends the unordered node with the
+// largest attraction to the sliding window of the last `window` ordered
+// nodes, where attraction accumulates c(n)/(|n|-1) per net shared with a
+// window member.  Clusters appear as contiguous runs of high attraction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "util/rng.h"
+
+namespace prop {
+
+struct OrderingResult {
+  std::vector<NodeId> order;
+  /// attraction[i]: attraction of order[i] to the window at the moment it
+  /// was appended (0 for the seed and for nodes picked when attraction was
+  /// exhausted, i.e. component boundaries).
+  std::vector<double> attraction;
+};
+
+/// `window` = 0 means an unbounded window (plain attraction ordering).
+OrderingResult window_ordering(const Hypergraph& g, std::size_t window,
+                               Rng& rng);
+
+}  // namespace prop

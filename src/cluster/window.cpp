@@ -1,0 +1,94 @@
+#include "cluster/window.h"
+
+#include <vector>
+
+#include "cluster/ordering.h"
+#include "hypergraph/contraction.h"
+#include "partition/initial.h"
+#include "partition/partition.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+/// Splits the ordering into contiguous clusters at attraction dips.
+std::vector<NodeId> extract_clusters(const OrderingResult& ordering,
+                                     const WindowConfig& config,
+                                     NodeId num_nodes, NodeId& num_clusters) {
+  std::vector<NodeId> cluster_of(num_nodes, 0);
+  NodeId cluster = 0;
+  std::size_t cluster_size = 0;
+  double cluster_attraction_sum = 0.0;
+
+  for (std::size_t i = 0; i < ordering.order.size(); ++i) {
+    const double att = ordering.attraction[i];
+    const bool dip =
+        cluster_size > 0 &&
+        att < config.dip_ratio * (cluster_attraction_sum /
+                                  static_cast<double>(cluster_size));
+    if (cluster_size >= config.max_cluster_size || dip ||
+        (cluster_size > 0 && att == 0.0)) {
+      ++cluster;
+      cluster_size = 0;
+      cluster_attraction_sum = 0.0;
+    }
+    cluster_of[ordering.order[i]] = cluster;
+    ++cluster_size;
+    cluster_attraction_sum += att;
+  }
+  num_clusters = cluster + 1;
+  return cluster_of;
+}
+
+}  // namespace
+
+PartitionResult WindowPartitioner::run(const Hypergraph& g,
+                                       const BalanceConstraint& balance,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+
+  // Phase 1: ordering + clustering + contraction.
+  const OrderingResult ordering = window_ordering(g, config_.window, rng);
+  NodeId num_clusters = 0;
+  const std::vector<NodeId> cluster_of =
+      extract_clusters(ordering, config_, g.num_nodes(), num_clusters);
+  const ContractionResult coarse = contract(g, cluster_of, num_clusters);
+
+  // Phase 2: multi-start FM on the coarse netlist.  The coarse window uses
+  // the same fractions but is naturally widened by the cluster granularity.
+  const double r1 = static_cast<double>(balance.lo()) /
+                    static_cast<double>(std::max<std::int64_t>(balance.total(), 1));
+  const double r2 = static_cast<double>(balance.hi()) /
+                    static_cast<double>(std::max<std::int64_t>(balance.total(), 1));
+  const BalanceConstraint coarse_balance = BalanceConstraint::fraction(
+      coarse.coarse, std::max(0.01, r1), std::min(0.99, r2));
+
+  PartitionResult best_coarse;
+  for (int run = 0; run < config_.coarse_runs; ++run) {
+    Partition part(coarse.coarse,
+                   random_balanced_sides(coarse.coarse, coarse_balance, rng));
+    const RefineOutcome outcome = fm_refine(part, coarse_balance, config_.fm);
+    if (!best_coarse.valid() || outcome.cut_cost < best_coarse.cut_cost) {
+      best_coarse.side = part.sides();
+      best_coarse.cut_cost = outcome.cut_cost;
+      ++best_coarse.passes;
+    }
+  }
+
+  // Phase 3: project and refine flat under the true balance window.
+  std::vector<std::uint8_t> flat(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    flat[u] = best_coarse.side[coarse.fine_to_coarse[u]];
+  }
+  Partition part(g, flat);
+  repair_balance(part, balance);
+  const RefineOutcome outcome = fm_refine(part, balance, config_.fm);
+
+  PartitionResult result;
+  result.side = part.sides();
+  result.cut_cost = outcome.cut_cost;
+  result.passes = outcome.passes;
+  return result;
+}
+
+}  // namespace prop

@@ -1,0 +1,41 @@
+// WINDOW — Alpert & Kahng's vertex-ordering clustering partitioner
+// (ICCAD 1994), a Table 2 comparator ("clustering followed by 20 runs of
+// FM", paper Table 2 caption).
+//
+// Pipeline: window vertex ordering -> cluster extraction at attraction
+// dips -> contraction -> multi-start FM on the coarse netlist -> projection
+// -> flat FM refinement (the "FM20 final phase").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fm/fm_partitioner.h"
+#include "partition/partitioner.h"
+
+namespace prop {
+
+struct WindowConfig {
+  std::size_t window = 10;          ///< ordering window width
+  std::size_t max_cluster_size = 10;
+  /// Start a new cluster when the next node's attraction drops below this
+  /// fraction of the current cluster's running mean.
+  double dip_ratio = 0.5;
+  int coarse_runs = 20;  ///< FM starts on the contracted netlist
+  FmConfig fm;
+};
+
+class WindowPartitioner final : public Bipartitioner {
+ public:
+  explicit WindowPartitioner(WindowConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "WINDOW"; }
+
+  PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
+                      std::uint64_t seed) override;
+
+ private:
+  WindowConfig config_;
+};
+
+}  // namespace prop

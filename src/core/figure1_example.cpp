@@ -1,0 +1,62 @@
+#include "core/figure1_example.h"
+
+#include "hypergraph/builder.h"
+
+namespace prop {
+
+Figure1Example make_figure1_example() {
+  // Ids: paper node k (1..11) -> k-1; hidden partner of node k (4..9) ->
+  // 7+k (11..16); three V2 nodes per cut net n_j (j = 1..11) -> 17+3(j-1)+i.
+  constexpr NodeId kNumV1 = 17;
+  constexpr int kCutNets = 11;
+  constexpr NodeId kNumNodes = kNumV1 + 3 * kCutNets;
+
+  HypergraphBuilder b(kNumNodes);
+  b.set_name("figure1");
+
+  const auto v2 = [&](int j, int i) {
+    return static_cast<NodeId>(kNumV1 + 3 * (j - 1) + i);
+  };
+  const auto node = [](int k) { return static_cast<NodeId>(k - 1); };
+  const auto partner = [](int k) { return static_cast<NodeId>(7 + k); };
+
+  // Cut nets n1..n11 (net ids 0..10), each with its V1 pins plus three V2
+  // pins.  Order matters: net(j) must be net id j-1.
+  const std::vector<std::vector<NodeId>> v1_pins = {
+      {node(1)},                     // n1
+      {node(1)},                     // n2
+      {node(2)},                     // n3
+      {node(2)},                     // n4
+      {node(10)},                    // n5
+      {node(3)},                     // n6
+      {node(3)},                     // n7
+      {node(11)},                    // n8
+      {node(1), node(4), node(5), node(6), node(7)},  // n9
+      {node(2), node(8), node(9)},                    // n10
+      {node(3), node(10), node(11)},                  // n11
+  };
+  for (int j = 1; j <= kCutNets; ++j) {
+    std::vector<NodeId> pins = v1_pins[static_cast<std::size_t>(j - 1)];
+    for (int i = 0; i < 3; ++i) pins.push_back(v2(j, i));
+    b.add_net(pins);
+  }
+  // Uncut nets n12..n17: node k paired with its hidden partner.
+  for (int k = 4; k <= 9; ++k) {
+    b.add_net({node(k), partner(k)});
+  }
+
+  Figure1Example ex;
+  ex.graph = std::move(b).build();
+  ex.side.assign(kNumNodes, 1);
+  for (NodeId u = 0; u < kNumV1; ++u) ex.side[u] = 0;
+
+  ex.initial_probability.assign(kNumNodes, 0.0);
+  for (int k = 1; k <= 3; ++k) ex.initial_probability[node(k)] = 1.0;
+  for (int k = 4; k <= 9; ++k) ex.initial_probability[node(k)] = 0.2;
+  ex.initial_probability[node(10)] = 0.8;
+  ex.initial_probability[node(11)] = 0.8;
+  for (int k = 4; k <= 9; ++k) ex.initial_probability[partner(k)] = 0.5;
+  return ex;
+}
+
+}  // namespace prop

@@ -1,0 +1,93 @@
+#include "core/prob_gain.h"
+
+#include <stdexcept>
+
+namespace prop {
+
+ProbGainCalculator::ProbGainCalculator(const Partition& part) : part_(&part) {
+  reset();
+}
+
+void ProbGainCalculator::reset() {
+  const Hypergraph& g = part_->graph();
+  p_.assign(g.num_nodes(), 0.0);
+  locked_.assign(g.num_nodes(), 0);
+  locked_pins_.assign(2 * g.num_nets(), 0);
+}
+
+void ProbGainCalculator::set_probability(NodeId u, double p) {
+  if (locked_[u]) throw std::logic_error("prob gain: node is locked");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("prob gain: p out of [0,1]");
+  p_[u] = p;
+}
+
+void ProbGainCalculator::lock(NodeId u) {
+  if (locked_[u]) throw std::logic_error("prob gain: node already locked");
+  locked_[u] = 1;
+  p_[u] = 0.0;
+  const int s = part_->side(u);
+  for (const NetId n : part_->graph().nets_of(u)) {
+    ++locked_pins_[2 * n + s];
+  }
+}
+
+void ProbGainCalculator::move_locked(NodeId u, int from_side) {
+  if (!locked_[u]) throw std::logic_error("prob gain: moved node must be locked");
+  for (const NetId n : part_->graph().nets_of(u)) {
+    --locked_pins_[2 * n + from_side];
+    ++locked_pins_[2 * n + (1 - from_side)];
+  }
+}
+
+double ProbGainCalculator::removal_probability(NetId n, int to) const {
+  const int from = 1 - to;
+  if (side_locked(n, from)) return 0.0;
+  double prod = 1.0;
+  for (const NodeId v : part_->graph().pins_of(n)) {
+    if (part_->side(v) == from) prod *= p_[v];
+  }
+  return prod;
+}
+
+double ProbGainCalculator::net_gain(NodeId u, NetId n) const {
+  const Partition& part = *part_;
+  const double c = part.graph().net_cost(n);
+  const int a = part.side(u);
+  const int b = 1 - a;
+
+  // Product of p over free A-side pins other than u; 0 if A holds a locked
+  // pin (the net then can never leave A this pass).
+  double prod_a = 1.0;
+  bool a_blocked = side_locked(n, a);
+  double prod_b = 1.0;
+  const bool b_blocked = side_locked(n, b);
+  for (const NodeId v : part.graph().pins_of(n)) {
+    if (v == u) continue;
+    if (part.side(v) == a) {
+      prod_a *= p_[v];  // locked pins have p = 0, blocking the product too
+    } else {
+      prod_b *= p_[v];
+    }
+  }
+  if (a_blocked) prod_a = 0.0;
+  if (b_blocked) prod_b = 0.0;
+
+  if (part.is_cut(n)) {
+    // Eqn. 3: moving u helps complete the A->B evacuation and precludes the
+    // B->A one.
+    return c * (prod_a - prod_b);
+  }
+  // Net lies entirely on u's side (it contains u).  Eqn. 4: moving u cuts
+  // it; it stays cut unless everyone else follows.
+  return -c * (1.0 - prod_a);
+}
+
+double ProbGainCalculator::gain(NodeId u) const {
+  double total = 0.0;
+  for (const NetId n : part_->graph().nets_of(u)) {
+    total += net_gain(u, n);
+  }
+  return total;
+}
+
+}  // namespace prop

@@ -1,0 +1,4 @@
+#include "core/probability_model.h"
+
+// Header-only; anchors the translation unit.
+namespace prop {}

@@ -1,0 +1,41 @@
+// Gain -> probability mapping (paper Sec. 3.2).
+//
+// p(u) = f(g(u)) must be monotonically increasing, capped to
+// [pmin, pmax] with 0 < pmin and pmax <= 1, and saturate at gain
+// thresholds glo/gup: nodes with gain >= gup will "ultimately be moved no
+// matter what" (p = pmax) and nodes below glo will almost surely stay
+// (p = pmin).  The paper's experiments use the linear function with
+// pinit = pmax = 0.95, pmin = 0.4, gup = 1, glo = -1.
+#pragma once
+
+#include <stdexcept>
+
+namespace prop {
+
+struct ProbabilityModel {
+  double pinit = 0.95;  ///< blind initial probability (bootstrap method 1)
+  double pmax = 0.95;
+  double pmin = 0.4;
+  double gup = 1.0;
+  double glo = -1.0;
+
+  /// Throws std::invalid_argument on an inconsistent configuration.
+  void validate() const {
+    if (!(pmin > 0.0)) throw std::invalid_argument("prob model: pmin must be > 0");
+    if (!(pmax <= 1.0)) throw std::invalid_argument("prob model: pmax must be <= 1");
+    if (!(pmin <= pmax)) throw std::invalid_argument("prob model: pmin <= pmax");
+    if (!(glo < gup)) throw std::invalid_argument("prob model: glo < gup");
+    if (!(pinit >= pmin && pinit <= pmax)) {
+      throw std::invalid_argument("prob model: pinit in [pmin, pmax]");
+    }
+  }
+
+  /// Linear interpolation between (glo, pmin) and (gup, pmax), clamped.
+  double from_gain(double gain) const noexcept {
+    if (gain >= gup) return pmax;
+    if (gain <= glo) return pmin;
+    return pmin + (gain - glo) / (gup - glo) * (pmax - pmin);
+  }
+};
+
+}  // namespace prop

@@ -1,0 +1,34 @@
+// Configuration of the PROP partitioner (paper Secs. 3 and 4).
+#pragma once
+
+#include "core/probability_model.h"
+
+namespace prop {
+
+/// How initial node probabilities are obtained at the start of a pass
+/// (paper Sec. 3: "one of two ways").
+enum class PropBootstrap {
+  /// Method 1: every node starts at pinit ("blind" assignment).  This is
+  /// the setting used for the paper's experiments (pinit = 0.95).
+  kUniform,
+  /// Method 2: p(u) = f(deterministic FM gain of u) — "reasonable
+  /// first-cut probability estimates".
+  kDeterministicGain,
+};
+
+struct PropConfig {
+  ProbabilityModel model;  ///< defaults are the paper's Table 2/3 settings
+  PropBootstrap bootstrap = PropBootstrap::kUniform;
+
+  /// Gain/probability fixed-point iterations at pass start ("we have used
+  /// 2 iterations in our implementations", Sec. 3).
+  int refine_iterations = 2;
+
+  /// Number of top-ranked nodes per side whose gains are recomputed after
+  /// every move ("a few, say, five, of the top ranked nodes", Sec. 3.4).
+  int top_update_width = 5;
+
+  int max_passes = 64;
+};
+
+}  // namespace prop

@@ -1,0 +1,218 @@
+#include "core/prop_partitioner.h"
+
+#include <vector>
+
+#include "core/prob_gain.h"
+#include "datastruct/avl_tree.h"
+#include "partition/initial.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+using GainTree = AvlTree<double>;
+
+/// Steps 3-4 of Fig. 2: bootstrap probabilities, then iterate
+/// gains -> probabilities `refine_iterations` times.  Leaves `gains` filled
+/// with the final probabilistic gains.
+void bootstrap_probabilities(const Partition& part, const PropConfig& config,
+                             ProbGainCalculator& calc,
+                             std::vector<double>& gains) {
+  const NodeId n = part.graph().num_nodes();
+  if (config.bootstrap == PropBootstrap::kUniform) {
+    for (NodeId u = 0; u < n; ++u) calc.set_probability(u, config.model.pinit);
+  } else {
+    for (NodeId u = 0; u < n; ++u) {
+      calc.set_probability(u, config.model.from_gain(part.immediate_gain(u)));
+    }
+  }
+  gains.resize(n);
+  for (int iter = 0; iter < config.refine_iterations; ++iter) {
+    // Gains from the current probability snapshot...
+    for (NodeId u = 0; u < n; ++u) gains[u] = calc.gain(u);
+    // ...then probabilities from those gains.
+    for (NodeId u = 0; u < n; ++u) {
+      calc.set_probability(u, config.model.from_gain(gains[u]));
+    }
+  }
+}
+
+/// Recomputes gain and probability of one free node from scratch,
+/// refreshing its tree position and the gains mirror.
+void refresh_node(NodeId v, const PropConfig& config, ProbGainCalculator& calc,
+                  const Partition& part, std::vector<double>& gains,
+                  GainTree& side0, GainTree& side1) {
+  const double g = calc.gain(v);
+  gains[v] = g;
+  GainTree& tree = part.side(v) == 0 ? side0 : side1;
+  if (tree.contains(v)) tree.update(v, g);
+  calc.set_probability(v, config.model.from_gain(g));
+}
+
+/// One PROP pass (steps 3-10 of Fig. 2).  Returns the accepted improvement.
+double prop_pass(Partition& part, const BalanceConstraint& balance,
+                 const PropConfig& config, ProbGainCalculator& calc,
+                 GainTree& side0, GainTree& side1) {
+  const Hypergraph& g = part.graph();
+  const NodeId n = g.num_nodes();
+
+  calc.reset();
+  std::vector<double> gains;
+  bootstrap_probabilities(part, config, calc, gains);
+
+  side0.clear();
+  side1.clear();
+  for (NodeId u = 0; u < n; ++u) {
+    (part.side(u) == 0 ? side0 : side1).insert(u, gains[u]);
+  }
+
+  std::vector<double> delta(n, 0.0);
+
+  std::vector<NodeId> moved;
+  moved.reserve(n);
+  double prefix = 0.0;
+  double best_prefix = 0.0;
+  std::size_t best_count = 0;
+
+  // With unit node sizes feasibility is uniform per side, so it is checked
+  // once instead of walking the tree past every infeasible node.
+  const bool unit_sizes = g.unit_node_sizes();
+  const auto best_feasible = [&](GainTree& tree, int side) {
+    if (tree.empty()) return GainTree::kNull;
+    if (unit_sizes) {
+      if (!balance.move_feasible(part.side_size(0), side, 1)) {
+        return GainTree::kNull;
+      }
+      return tree.max();
+    }
+    GainTree::Handle found = GainTree::kNull;
+    tree.for_each_descending([&](GainTree::Handle h, double) {
+      if (balance.move_feasible(part.side_size(0), side, g.node_size(h))) {
+        found = h;
+        return false;
+      }
+      return true;
+    });
+    return found;
+  };
+
+  std::vector<NodeId> to_refresh;
+  std::vector<std::uint32_t> visit_stamp(n, 0);
+  std::uint32_t stamp = 0;
+
+  while (true) {
+    // Step 6: best-gain node in either subset whose move keeps balance.
+    const auto h0 = side0.empty() ? GainTree::kNull : best_feasible(side0, 0);
+    const auto h1 = side1.empty() ? GainTree::kNull : best_feasible(side1, 1);
+    if (h0 == GainTree::kNull && h1 == GainTree::kNull) break;
+
+    NodeId u;
+    if (h0 == GainTree::kNull) {
+      u = h1;
+    } else if (h1 == GainTree::kNull) {
+      u = h0;
+    } else if (side0.key(h0) != side1.key(h1)) {
+      u = side0.key(h0) > side1.key(h1) ? h0 : h1;
+    } else {
+      u = part.side_size(0) >= part.side_size(1) ? h0 : h1;
+    }
+
+    // Step 7: the recorded prefix uses the *immediate* deterministic gain.
+    const int from = part.side(u);
+    const double immediate = part.immediate_gain(u);
+    (from == 0 ? side0 : side1).erase(u);
+
+    // Step 8 / Sec. 3.4: after moving u, the removal probabilities of u's
+    // nets change, so every free pin of those nets gets the before/after
+    // delta of that net's gain contribution — O(pins of u's nets) per move.
+    ++stamp;
+    to_refresh.clear();
+    const auto visit = [&](double sign) {
+      for (const NetId net : g.nets_of(u)) {
+        calc.for_each_net_gain(net, [&](NodeId v, double gv) {
+          if (v == u) return;
+          if (visit_stamp[v] != stamp) {
+            visit_stamp[v] = stamp;
+            delta[v] = 0.0;
+            to_refresh.push_back(v);
+          }
+          delta[v] += sign * gv;
+        });
+      }
+    };
+    visit(-1.0);
+    calc.lock(u);
+    part.move(u);
+    calc.move_locked(u, from);
+    visit(+1.0);
+
+    for (const NodeId v : to_refresh) {
+      if (delta[v] == 0.0) continue;  // contribution unchanged
+      gains[v] += delta[v];
+      GainTree& tree = part.side(v) == 0 ? side0 : side1;
+      if (tree.contains(v)) tree.update(v, gains[v]);
+      calc.set_probability(v, config.model.from_gain(gains[v]));
+    }
+
+    for (GainTree* tree : {&side0, &side1}) {
+      if (config.top_update_width <= 0) break;
+      to_refresh.clear();
+      int budget = config.top_update_width;
+      tree->for_each_descending([&](GainTree::Handle h, double) {
+        to_refresh.push_back(h);
+        return --budget > 0;
+      });
+      for (const NodeId v : to_refresh) {
+        refresh_node(v, config, calc, part, gains, side0, side1);
+      }
+    }
+
+    moved.push_back(u);
+    prefix += immediate;
+    if (prefix > best_prefix + kEps) {
+      best_prefix = prefix;
+      best_count = moved.size();
+    }
+  }
+
+  // Step 10: keep only the maximum-prefix moves.
+  for (std::size_t i = moved.size(); i > best_count; --i) {
+    part.move(moved[i - 1]);
+  }
+  return best_prefix;
+}
+
+}  // namespace
+
+RefineOutcome prop_refine(Partition& part, const BalanceConstraint& balance,
+                          const PropConfig& config) {
+  config.model.validate();
+  ProbGainCalculator calc(part);
+  GainTree side0(part.graph().num_nodes());
+  GainTree side1(part.graph().num_nodes());
+  RefineOutcome out;
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    const double gained = prop_pass(part, balance, config, calc, side0, side1);
+    ++out.passes;
+    if (gained <= kEps) break;
+  }
+  out.cut_cost = part.cut_cost();
+  return out;
+}
+
+PartitionResult PropPartitioner::run(const Hypergraph& g,
+                                     const BalanceConstraint& balance,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  Partition part(g, random_balanced_sides(g, balance, rng));
+  const RefineOutcome outcome = prop_refine(part, balance, config_);
+  PartitionResult result;
+  result.side = part.sides();
+  result.cut_cost = outcome.cut_cost;
+  result.passes = outcome.passes;
+  return result;
+}
+
+}  // namespace prop

@@ -1,0 +1,40 @@
+// PROP — the PRObabilistic Partitioner (paper Fig. 2).
+//
+// An FM-style pass engine that *selects* moves by probabilistic gain
+// (prob_gain.h) while *accepting* the maximum prefix of deterministic
+// immediate gains, so every accepted pass is a true cut improvement.  Node
+// gains live in the AVL tree; after each move the mover's neighbors and the
+// top few nodes of each side get fresh gains and probabilities (Sec. 3.4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/prop_config.h"
+#include "partition/partition.h"
+#include "partition/partitioner.h"
+
+namespace prop {
+
+/// Improves `part` in place with PROP passes until no positive gain.
+RefineOutcome prop_refine(Partition& part, const BalanceConstraint& balance,
+                          const PropConfig& config = {});
+
+class PropPartitioner final : public Bipartitioner {
+ public:
+  explicit PropPartitioner(PropConfig config = {}) : config_(config) {
+    config_.model.validate();
+  }
+
+  std::string name() const override { return "PROP"; }
+
+  PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
+                      std::uint64_t seed) override;
+
+  const PropConfig& config() const noexcept { return config_; }
+
+ private:
+  PropConfig config_;
+};
+
+}  // namespace prop

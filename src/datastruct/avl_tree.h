@@ -1,0 +1,276 @@
+// Handle-based AVL tree keyed by gain — the ordered container the paper
+// prescribes for PROP and for FM under non-unit net costs ("we ... store
+// nodes, according to their gains, in a balanced binary AVL tree",
+// Sec. 3.5).
+//
+// Each handle (a node id in [0, capacity)) appears at most once.  All
+// storage is in flat arrays indexed by handle, so there is no per-operation
+// allocation.  Duplicate keys are allowed; among equal keys the most
+// recently inserted handle is returned first by max(), giving the LIFO
+// tie-breaking that FM-family implementations traditionally use.
+//
+// Operations: insert/erase/update O(log n), max O(log n), descending
+// iteration O(log n) per step.  Verified against std::multiset by property
+// tests (tests/datastruct/avl_tree_test.cpp).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace prop {
+
+template <typename Key, typename Compare = std::less<Key>>
+class AvlTree {
+ public:
+  using Handle = std::uint32_t;
+  static constexpr Handle kNull = static_cast<Handle>(-1);
+
+  explicit AvlTree(Handle capacity, Compare cmp = Compare())
+      : cmp_(cmp),
+        keys_(capacity),
+        left_(capacity, kNull),
+        right_(capacity, kNull),
+        parent_(capacity, kNull),
+        height_(capacity, 0),
+        in_tree_(capacity, 0) {}
+
+  Handle capacity() const noexcept { return static_cast<Handle>(keys_.size()); }
+  std::uint32_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool contains(Handle h) const noexcept { return in_tree_[h] != 0; }
+  const Key& key(Handle h) const noexcept { return keys_[h]; }
+
+  void clear() {
+    if (size_ == 0) return;
+    std::fill(in_tree_.begin(), in_tree_.end(), 0);
+    root_ = kNull;
+    size_ = 0;
+  }
+
+  /// Inserts handle h with the given key.  h must not be present.
+  void insert(Handle h, Key key) {
+    assert(!contains(h));
+    keys_[h] = std::move(key);
+    left_[h] = right_[h] = kNull;
+    height_[h] = 1;
+    in_tree_[h] = 1;
+    ++size_;
+    if (root_ == kNull) {
+      parent_[h] = kNull;
+      root_ = h;
+      return;
+    }
+    Handle cur = root_;
+    for (;;) {
+      // Ties descend right so the newest equal-key handle is rightmost,
+      // i.e. returned first by max().
+      if (cmp_(keys_[h], keys_[cur])) {
+        if (left_[cur] == kNull) {
+          left_[cur] = h;
+          break;
+        }
+        cur = left_[cur];
+      } else {
+        if (right_[cur] == kNull) {
+          right_[cur] = h;
+          break;
+        }
+        cur = right_[cur];
+      }
+    }
+    parent_[h] = cur;
+    rebalance_up(cur);
+  }
+
+  /// Removes handle h.  h must be present.
+  void erase(Handle h) {
+    assert(contains(h));
+    Handle rebalance_from = kNull;
+    if (left_[h] != kNull && right_[h] != kNull) {
+      // Two children: splice in the successor (min of right subtree).
+      Handle s = right_[h];
+      while (left_[s] != kNull) s = left_[s];
+      rebalance_from = (parent_[s] == h) ? s : parent_[s];
+      // Detach s from its parent (s has no left child).
+      if (parent_[s] != h) {
+        set_child(parent_[s], s, right_[s]);
+        right_[s] = right_[h];
+        parent_[right_[s]] = s;
+      }
+      // Put s where h was.
+      left_[s] = left_[h];
+      if (left_[s] != kNull) parent_[left_[s]] = s;
+      replace_at_parent(h, s);
+      height_[s] = height_[h];
+    } else {
+      const Handle child = (left_[h] != kNull) ? left_[h] : right_[h];
+      rebalance_from = parent_[h];
+      replace_at_parent(h, child);
+    }
+    in_tree_[h] = 0;
+    --size_;
+    if (rebalance_from != kNull) rebalance_up(rebalance_from);
+  }
+
+  /// Changes the key of handle h (erase + insert).
+  void update(Handle h, Key key) {
+    erase(h);
+    insert(h, std::move(key));
+  }
+
+  /// Handle with the maximum key (ties: most recently inserted).
+  /// Tree must be non-empty.
+  Handle max() const noexcept {
+    assert(!empty());
+    Handle cur = root_;
+    while (right_[cur] != kNull) cur = right_[cur];
+    return cur;
+  }
+
+  /// Handle with the minimum key.  Tree must be non-empty.
+  Handle min() const noexcept {
+    assert(!empty());
+    Handle cur = root_;
+    while (left_[cur] != kNull) cur = left_[cur];
+    return cur;
+  }
+
+  /// In-order predecessor of h (next handle in descending key order), or
+  /// kNull at the minimum.
+  Handle prev(Handle h) const noexcept {
+    if (left_[h] != kNull) {
+      Handle cur = left_[h];
+      while (right_[cur] != kNull) cur = right_[cur];
+      return cur;
+    }
+    // No left subtree: the predecessor is the first ancestor of which h
+    // lies in the right subtree — climb while we are a left child.
+    Handle cur = h;
+    Handle up = parent_[cur];
+    while (up != kNull && left_[up] == cur) {
+      cur = up;
+      up = parent_[cur];
+    }
+    return up;
+  }
+
+  /// Visits handles in descending key order while `visit` returns true.
+  template <typename Visitor>
+  void for_each_descending(Visitor&& visit) const {
+    if (empty()) return;
+    for (Handle h = max(); h != kNull; h = prev(h)) {
+      if (!visit(h, keys_[h])) return;
+    }
+  }
+
+  /// Validation helpers for tests: checks BST order, AVL balance, parent
+  /// links and size.  O(n).
+  bool check_invariants() const {
+    std::uint32_t counted = 0;
+    const int h = check_subtree(root_, kNull, counted);
+    return h >= 0 && counted == size_;
+  }
+
+ private:
+  int height_of(Handle h) const noexcept { return h == kNull ? 0 : height_[h]; }
+
+  void update_height(Handle h) noexcept {
+    const int hl = height_of(left_[h]);
+    const int hr = height_of(right_[h]);
+    height_[h] = 1 + (hl > hr ? hl : hr);
+  }
+
+  int balance_factor(Handle h) const noexcept {
+    return height_of(left_[h]) - height_of(right_[h]);
+  }
+
+  void set_child(Handle parent, Handle old_child, Handle new_child) noexcept {
+    if (left_[parent] == old_child) {
+      left_[parent] = new_child;
+    } else {
+      right_[parent] = new_child;
+    }
+    if (new_child != kNull) parent_[new_child] = parent;
+  }
+
+  /// Makes `replacement` occupy h's position relative to h's parent/root.
+  void replace_at_parent(Handle h, Handle replacement) noexcept {
+    const Handle p = parent_[h];
+    if (p == kNull) {
+      root_ = replacement;
+      if (replacement != kNull) parent_[replacement] = kNull;
+    } else {
+      set_child(p, h, replacement);
+    }
+  }
+
+  Handle rotate_left(Handle x) noexcept {
+    const Handle y = right_[x];
+    right_[x] = left_[y];
+    if (left_[y] != kNull) parent_[left_[y]] = x;
+    replace_at_parent(x, y);
+    left_[y] = x;
+    parent_[x] = y;
+    update_height(x);
+    update_height(y);
+    return y;
+  }
+
+  Handle rotate_right(Handle x) noexcept {
+    const Handle y = left_[x];
+    left_[x] = right_[y];
+    if (right_[y] != kNull) parent_[right_[y]] = x;
+    replace_at_parent(x, y);
+    right_[y] = x;
+    parent_[x] = y;
+    update_height(x);
+    update_height(y);
+    return y;
+  }
+
+  void rebalance_up(Handle h) noexcept {
+    while (h != kNull) {
+      update_height(h);
+      const int bf = balance_factor(h);
+      if (bf > 1) {
+        if (balance_factor(left_[h]) < 0) rotate_left(left_[h]);
+        h = rotate_right(h);
+      } else if (bf < -1) {
+        if (balance_factor(right_[h]) > 0) rotate_right(right_[h]);
+        h = rotate_left(h);
+      }
+      h = parent_[h];
+    }
+  }
+
+  /// Returns subtree height, or -1 on any violated invariant.
+  int check_subtree(Handle h, Handle expected_parent,
+                    std::uint32_t& counted) const {
+    if (h == kNull) return 0;
+    if (!in_tree_[h] || parent_[h] != expected_parent) return -1;
+    ++counted;
+    const int hl = check_subtree(left_[h], h, counted);
+    const int hr = check_subtree(right_[h], h, counted);
+    if (hl < 0 || hr < 0) return -1;
+    if (hl - hr > 1 || hr - hl > 1) return -1;
+    if (left_[h] != kNull && cmp_(keys_[h], keys_[left_[h]])) return -1;
+    if (right_[h] != kNull && cmp_(keys_[right_[h]], keys_[h])) return -1;
+    const int height = 1 + (hl > hr ? hl : hr);
+    if (height != height_[h]) return -1;
+    return height;
+  }
+
+  Compare cmp_;
+  std::vector<Key> keys_;
+  std::vector<Handle> left_;
+  std::vector<Handle> right_;
+  std::vector<Handle> parent_;
+  std::vector<int> height_;
+  std::vector<std::uint8_t> in_tree_;
+  Handle root_ = kNull;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace prop

@@ -1,0 +1,15 @@
+#include "datastruct/gain_vector.h"
+
+namespace prop {
+
+std::string GainVector::to_string() const {
+  std::string out = "(";
+  for (int i = 1; i <= levels_; ++i) {
+    if (i > 1) out += ',';
+    out += std::to_string(at(i));
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace prop

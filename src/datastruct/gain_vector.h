@@ -1,0 +1,81 @@
+// Krishnamurthy lookahead gain vectors (LA-k).
+//
+// A gain vector has k integer levels; vector a beats vector b when the
+// first differing level is larger in a (lexicographic order) — the paper's
+// Sec. 2 definition.  Level 1 equals the FM immediate gain.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace prop {
+
+class GainVector {
+ public:
+  /// Largest supported lookahead depth.  The paper reports k = 2..4 as the
+  /// useful range; 8 leaves headroom for experiments.
+  static constexpr int kMaxLevels = 8;
+
+  GainVector() = default;
+  explicit GainVector(int levels) : levels_(levels) { v_.fill(0); }
+
+  int levels() const noexcept { return levels_; }
+
+  int at(int level) const noexcept { return v_[static_cast<std::size_t>(level - 1)]; }
+  void set(int level, int value) noexcept {
+    v_[static_cast<std::size_t>(level - 1)] = value;
+  }
+  void add(int level, int delta) noexcept {
+    v_[static_cast<std::size_t>(level - 1)] += delta;
+  }
+
+  /// Level-wise accumulation (used by incremental gain maintenance).
+  GainVector& operator+=(const GainVector& o) noexcept {
+    for (int i = 0; i < kMaxLevels; ++i) {
+      v_[static_cast<std::size_t>(i)] += o.v_[static_cast<std::size_t>(i)];
+    }
+    if (o.levels_ > levels_) levels_ = o.levels_;
+    return *this;
+  }
+  GainVector& operator-=(const GainVector& o) noexcept {
+    for (int i = 0; i < kMaxLevels; ++i) {
+      v_[static_cast<std::size_t>(i)] -= o.v_[static_cast<std::size_t>(i)];
+    }
+    if (o.levels_ > levels_) levels_ = o.levels_;
+    return *this;
+  }
+
+  /// Lexicographic order over the first `levels` entries.
+  friend std::strong_ordering operator<=>(const GainVector& a,
+                                          const GainVector& b) noexcept {
+    const int k = a.levels_ < b.levels_ ? a.levels_ : b.levels_;
+    for (int i = 0; i < k; ++i) {
+      if (a.v_[static_cast<std::size_t>(i)] != b.v_[static_cast<std::size_t>(i)]) {
+        return a.v_[static_cast<std::size_t>(i)] <=> b.v_[static_cast<std::size_t>(i)];
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+  friend bool operator==(const GainVector& a, const GainVector& b) noexcept {
+    return (a <=> b) == std::strong_ordering::equal;
+  }
+
+  /// True when every level is 0 (no-op as a delta).
+  bool is_zero() const noexcept {
+    for (int i = 0; i < kMaxLevels; ++i) {
+      if (v_[static_cast<std::size_t>(i)] != 0) return false;
+    }
+    return true;
+  }
+
+  /// "(2,0,1)" — the paper's notation.
+  std::string to_string() const;
+
+ private:
+  std::array<int, kMaxLevels> v_{};
+  int levels_ = 0;
+};
+
+}  // namespace prop

@@ -1,0 +1,17 @@
+#include "fm/fm_gains.h"
+
+namespace prop {
+
+double fm_gain(const Partition& part, NodeId u) {
+  return part.immediate_gain(u);
+}
+
+std::vector<double> fm_all_gains(const Partition& part) {
+  std::vector<double> gains(part.graph().num_nodes());
+  for (NodeId u = 0; u < part.graph().num_nodes(); ++u) {
+    gains[u] = fm_gain(part, u);
+  }
+  return gains;
+}
+
+}  // namespace prop

@@ -1,0 +1,73 @@
+// FM deterministic gain computation (paper Eqn. 1) and the classic
+// incremental update applied around each move.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "partition/partition.h"
+
+namespace prop {
+
+/// Immediate FM gain of node u under `part`: sum over nets in E(u) of c(n)
+/// minus sum over nets in I(u) of c(n) (Eqn. 1).  Equals
+/// part.immediate_gain(u); provided as a free function for clarity and for
+/// tests against the incremental updates.
+double fm_gain(const Partition& part, NodeId u);
+
+/// All node gains (O(m)).
+std::vector<double> fm_all_gains(const Partition& part);
+
+/// Applies the classic FM neighbor-gain delta rules around moving `u`.
+/// `apply` is called as apply(v, delta) for every free neighbor whose gain
+/// changes; `is_free(v)` says whether v is unlocked.  The function performs
+/// part.move(u) itself (deltas must straddle the pin-count change).
+template <typename IsFree, typename Apply>
+void fm_move_with_updates(Partition& part, NodeId u, IsFree&& is_free,
+                          Apply&& apply) {
+  const Hypergraph& g = part.graph();
+  const int from = part.side(u);
+  const int to = 1 - from;
+
+  for (const NetId n : g.nets_of(u)) {
+    const double c = g.net_cost(n);
+    const auto to_count = part.pins_on_side(n, to);
+    if (to_count == 0) {
+      // Net was uncut; moving u makes every free pin want to follow.
+      for (const NodeId v : g.pins_of(n)) {
+        if (v != u && is_free(v)) apply(v, +c);
+      }
+    } else if (to_count == 1) {
+      // The single to-side pin loses its "critical" bonus.
+      for (const NodeId v : g.pins_of(n)) {
+        if (part.side(v) == to && is_free(v)) {
+          apply(v, -c);
+          break;
+        }
+      }
+    }
+  }
+
+  part.move(u);
+
+  for (const NetId n : g.nets_of(u)) {
+    const double c = g.net_cost(n);
+    const auto from_count = part.pins_on_side(n, from);
+    if (from_count == 0) {
+      // Net fully migrated; followers no longer gain by leaving.
+      for (const NodeId v : g.pins_of(n)) {
+        if (v != u && is_free(v)) apply(v, -c);
+      }
+    } else if (from_count == 1) {
+      // The single remaining from-side pin becomes critical.
+      for (const NodeId v : g.pins_of(n)) {
+        if (part.side(v) == from && is_free(v)) {
+          apply(v, +c);
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace prop

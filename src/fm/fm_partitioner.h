@@ -1,0 +1,51 @@
+// Fiduccia–Mattheyses iterative-improvement bipartitioner.
+//
+// Two interchangeable gain containers, matching the paper's Table 4
+// comparison:
+//   * kBucket — the classic O(1) bucket array (requires unit net costs);
+//   * kTree   — the AVL tree, needed for weighted nets and shared with PROP.
+//
+// A pass virtually moves every node (highest-gain feasible node first,
+// lock after move, classic neighbor updates), then rolls back to the
+// maximum-prefix-gain point; passes repeat until no positive improvement
+// (paper Sec. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "partition/partition.h"
+#include "partition/partitioner.h"
+#include "util/rng.h"
+
+namespace prop {
+
+enum class FmStructure { kBucket, kTree };
+
+struct FmConfig {
+  FmStructure structure = FmStructure::kBucket;
+  /// Safety bound; the paper observes convergence in 2-4 passes.
+  int max_passes = 64;
+};
+
+/// Improves `part` in place until a pass yields no gain.  Deterministic in
+/// the partition's state (selection ties are broken LIFO).
+RefineOutcome fm_refine(Partition& part, const BalanceConstraint& balance,
+                        const FmConfig& config = {});
+
+class FmPartitioner final : public Bipartitioner {
+ public:
+  explicit FmPartitioner(FmConfig config = {}) : config_(config) {}
+
+  std::string name() const override {
+    return config_.structure == FmStructure::kBucket ? "FM-bucket" : "FM-tree";
+  }
+
+  PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
+                      std::uint64_t seed) override;
+
+ private:
+  FmConfig config_;
+};
+
+}  // namespace prop

@@ -1,0 +1,62 @@
+#include "hypergraph/contraction.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "hypergraph/builder.h"
+
+namespace prop {
+
+ContractionResult contract(const Hypergraph& g,
+                           const std::vector<NodeId>& cluster_of,
+                           NodeId num_clusters) {
+  if (cluster_of.size() != g.num_nodes()) {
+    throw std::invalid_argument("contract: clustering size mismatch");
+  }
+  for (const NodeId c : cluster_of) {
+    if (c >= num_clusters) {
+      throw std::invalid_argument("contract: cluster id out of range");
+    }
+  }
+
+  HypergraphBuilder builder(num_clusters);
+  builder.set_name(g.name() + ".coarse");
+
+  // Accumulate node sizes per cluster.
+  std::vector<std::int64_t> cluster_size(num_clusters, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    cluster_size[cluster_of[u]] += g.node_size(u);
+  }
+  for (NodeId c = 0; c < num_clusters; ++c) {
+    builder.set_node_size(c, std::max<std::int64_t>(cluster_size[c], 1));
+  }
+
+  // Map nets to cluster pin sets; merge identical nets, summing costs.
+  std::map<std::vector<NodeId>, double> merged;
+  std::vector<NodeId> pins;
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    pins.clear();
+    for (const NodeId u : g.pins_of(n)) pins.push_back(cluster_of[u]);
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() < 2) continue;  // internal to one cluster: never cut
+    merged[pins] += g.net_cost(n);
+  }
+  for (const auto& [cluster_pins, cost] : merged) {
+    builder.add_net(cluster_pins, cost);
+  }
+
+  return ContractionResult{std::move(builder).build(), cluster_of};
+}
+
+std::vector<int> project_partition(const std::vector<NodeId>& fine_to_coarse,
+                                   const std::vector<int>& coarse_side) {
+  std::vector<int> fine_side(fine_to_coarse.size());
+  for (std::size_t u = 0; u < fine_to_coarse.size(); ++u) {
+    fine_side[u] = coarse_side[fine_to_coarse[u]];
+  }
+  return fine_side;
+}
+
+}  // namespace prop

@@ -1,0 +1,35 @@
+// Cluster contraction: collapses groups of nodes into super-nodes.
+//
+// Used by the WINDOW-style clustering partitioner: clusters become nodes of
+// a smaller hypergraph, each net maps to the set of clusters it touches.
+// Nets that fall entirely inside one cluster disappear (they can never be
+// cut), and identical parallel nets are merged with summed cost, so a
+// partition of the contracted graph has exactly the same cut cost as the
+// corresponding flat partition.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace prop {
+
+struct ContractionResult {
+  Hypergraph coarse;
+  /// fine node id -> coarse node id (same as the input clustering, kept for
+  /// symmetry / projection convenience).
+  std::vector<NodeId> fine_to_coarse;
+};
+
+/// Contracts `g` according to `cluster_of` (one entry per node, cluster ids
+/// must be dense in [0, num_clusters)).  Node sizes accumulate into their
+/// cluster so balance constraints stay meaningful.
+ContractionResult contract(const Hypergraph& g,
+                           const std::vector<NodeId>& cluster_of,
+                           NodeId num_clusters);
+
+/// Projects a partition of the coarse graph back to the fine graph.
+std::vector<int> project_partition(const std::vector<NodeId>& fine_to_coarse,
+                                   const std::vector<int>& coarse_side);
+
+}  // namespace prop

@@ -1,0 +1,180 @@
+#include "hypergraph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/builder.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+/// Draws net sizes >= 2 from a bimodal distribution — a 2/3-pin bulk plus
+/// a geometric multi-pin tail, the shape real netlists have — and then
+/// nudges them so they sum to exactly `total_pins`.  The multi-pin tail is
+/// what makes min-cut landscapes rugged: large nets create wide plateaus of
+/// tied immediate gains, the regime Fig. 1 of the paper targets.
+std::vector<std::size_t> draw_net_sizes(std::size_t num_nets,
+                                        std::size_t total_pins,
+                                        std::size_t max_size, Rng& rng) {
+  const double mean = static_cast<double>(total_pins) / static_cast<double>(num_nets);
+  // Mixture: a 2-pin bulk, some 3-pin nets, else a 4+ geometric tail whose
+  // mean is solved from the target q so expectation matches pre-rebalance.
+  constexpr double kP2 = 0.70;
+  constexpr double kP3 = 0.15;
+  const double tail_prob = 1.0 - kP2 - kP3;
+  double tail_mean = (mean - kP2 * 2.0 - kP3 * 3.0) / tail_prob;
+  if (tail_mean < 4.0) tail_mean = 4.0;
+  const double p = 1.0 / (1.0 + (tail_mean - 4.0));
+
+  std::vector<std::size_t> sizes(num_nets);
+  std::size_t sum = 0;
+  for (auto& s : sizes) {
+    const double x = rng.uniform();
+    if (x < kP2) {
+      s = 2;
+    } else if (x < kP2 + kP3) {
+      s = 3;
+    } else {
+      std::size_t g = 0;
+      while (g + 4 < max_size && !rng.chance(p)) ++g;
+      s = 4 + g;
+    }
+    if (s > max_size) s = max_size;
+    sum += s;
+  }
+
+  // Rebalance to the exact pin count by moving single pins between nets.
+  while (sum > total_pins) {
+    const std::size_t i = rng.bounded(num_nets);
+    if (sizes[i] > 2) {
+      --sizes[i];
+      --sum;
+    }
+  }
+  while (sum < total_pins) {
+    const std::size_t i = rng.bounded(num_nets);
+    if (sizes[i] < max_size) {
+      ++sizes[i];
+      ++sum;
+    }
+  }
+  return sizes;
+}
+
+}  // namespace
+
+Hypergraph generate_circuit(const CircuitSpec& spec, std::uint64_t seed,
+                            const GeneratorOptions& options) {
+  const std::size_t n = spec.num_nodes;
+  const std::size_t e = spec.num_nets;
+  const std::size_t m = spec.num_pins;
+  if (n < 2) throw std::invalid_argument("generator: need at least 2 nodes");
+  if (e == 0) throw std::invalid_argument("generator: need at least 1 net");
+  if (m < 2 * e) {
+    throw std::invalid_argument("generator: pins must allow >=2 pins per net");
+  }
+
+  Rng rng(mix_seed(seed, n, e, m));
+
+  const std::size_t max_net_size =
+      std::min<std::size_t>(options.max_net_size, n);
+  std::vector<std::size_t> sizes = draw_net_sizes(e, m, max_net_size, rng);
+
+  // Hierarchy levels: block size at level l is leaf_block * 2^l, clamped to
+  // n at the top.  P(level l) ~ 2^((gamma-1)*l): most nets are local, a few
+  // percent span the whole circuit — Rent-rule decay.
+  std::size_t num_levels = 1;
+  while (options.leaf_block << num_levels < n) ++num_levels;
+  ++num_levels;  // include the root level (block = n)
+  std::vector<double> level_cdf(num_levels);
+  {
+    const double rho = std::pow(2.0, options.rent_exponent - 1.0);
+    double w = 1.0;
+    double acc = 0.0;
+    for (std::size_t l = 0; l < num_levels; ++l) {
+      acc += w;
+      level_cdf[l] = acc;
+      w *= rho;
+    }
+    for (auto& c : level_cdf) c /= acc;
+  }
+
+  // Secret permutation: planted block structure lives in "slot" space; the
+  // emitted netlist uses permuted node ids.
+  std::vector<NodeId> slot_to_node(n);
+  std::iota(slot_to_node.begin(), slot_to_node.end(), NodeId{0});
+  rng.shuffle(slot_to_node);
+
+  HypergraphBuilder builder(static_cast<NodeId>(n));
+  builder.set_name(spec.name);
+
+  std::vector<std::size_t> node_degree(n, 0);
+  std::vector<std::vector<NodeId>> nets(e);
+  std::vector<NodeId> pins;
+  std::vector<char> in_net(n, 0);
+  for (std::size_t i = 0; i < e; ++i) {
+    const std::size_t want = sizes[i];
+    // Pick the net's level, then a window at that level big enough
+    // to host all pins.
+    std::size_t level = 0;
+    {
+      const double x = rng.uniform();
+      while (level + 1 < num_levels && x > level_cdf[level]) ++level;
+    }
+    std::size_t block = std::min<std::size_t>(options.leaf_block << level, n);
+    while (block < want) block = std::min(block * 2, n);
+    // Unaligned window: overlapping communities make the min-cut landscape
+    // rugged (no single canonical split every heuristic trivially finds).
+    const std::size_t lo = block < n ? rng.bounded(n - block + 1) : 0;
+    const std::size_t hi = lo + block;
+
+    pins.clear();
+    while (pins.size() < want) {
+      const std::size_t slot = lo + rng.bounded(hi - lo);
+      const NodeId u = slot_to_node[slot];
+      if (!in_net[u]) {
+        in_net[u] = 1;
+        pins.push_back(u);
+      }
+    }
+    for (const NodeId u : pins) {
+      in_net[u] = 0;
+      ++node_degree[u];
+    }
+    nets[i] = pins;
+  }
+
+  // Repair isolated nodes by swapping them into nets in place of nodes with
+  // spare degree; preserves all net sizes and the exact pin count.
+  std::vector<NodeId> isolated;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (node_degree[u] == 0) isolated.push_back(static_cast<NodeId>(u));
+  }
+  for (const NodeId u : isolated) {
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      auto& net = nets[rng.bounded(e)];
+      const std::size_t k = rng.bounded(net.size());
+      const NodeId victim = net[k];
+      if (node_degree[victim] < 2) continue;
+      if (std::find(net.begin(), net.end(), u) != net.end()) continue;
+      --node_degree[victim];
+      ++node_degree[u];
+      net[k] = u;
+      break;
+    }
+  }
+
+  // Emit nets in shuffled order so net ids carry no level information.
+  std::vector<std::size_t> order(e);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(order);
+  for (const std::size_t i : order) builder.add_net(nets[i]);
+
+  return std::move(builder).build();
+}
+
+}  // namespace prop

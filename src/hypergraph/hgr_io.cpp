@@ -1,0 +1,123 @@
+#include "hypergraph/hgr_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace prop {
+namespace {
+
+/// Reads the next non-comment, non-blank line; returns false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i == line.size() || line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Hypergraph read_hgr(std::istream& in, std::string name) {
+  std::string line;
+  if (!next_content_line(in, line)) {
+    throw std::runtime_error("hgr: empty input");
+  }
+  std::istringstream header(line);
+  long long num_nets = 0;
+  long long num_nodes = 0;
+  int fmt = 0;
+  header >> num_nets >> num_nodes;
+  if (header.fail() || num_nets < 0 || num_nodes < 0) {
+    throw std::runtime_error("hgr: malformed header");
+  }
+  header >> fmt;  // optional
+  const bool weighted_nets = (fmt == 1 || fmt == 11);
+  const bool weighted_nodes = (fmt == 10 || fmt == 11);
+  if (fmt != 0 && !weighted_nets && !weighted_nodes) {
+    throw std::runtime_error("hgr: unknown fmt code");
+  }
+
+  HypergraphBuilder b(static_cast<NodeId>(num_nodes));
+  b.set_name(std::move(name));
+  std::vector<NodeId> pins;
+  for (long long n = 0; n < num_nets; ++n) {
+    if (!next_content_line(in, line)) {
+      throw std::runtime_error("hgr: truncated net list");
+    }
+    std::istringstream net_line(line);
+    double cost = 1.0;
+    if (weighted_nets) {
+      net_line >> cost;
+      if (net_line.fail() || cost <= 0.0) {
+        throw std::runtime_error("hgr: bad net weight");
+      }
+    }
+    pins.clear();
+    long long pin = 0;
+    while (net_line >> pin) {
+      if (pin < 1 || pin > num_nodes) {
+        throw std::runtime_error("hgr: pin id out of range");
+      }
+      pins.push_back(static_cast<NodeId>(pin - 1));
+    }
+    if (pins.empty()) {
+      throw std::runtime_error("hgr: net with no pins");
+    }
+    b.add_net(pins, cost);
+  }
+  if (weighted_nodes) {
+    for (long long u = 0; u < num_nodes; ++u) {
+      if (!next_content_line(in, line)) {
+        throw std::runtime_error("hgr: truncated node weights");
+      }
+      const long long w = std::stoll(line);
+      if (w <= 0) throw std::runtime_error("hgr: bad node weight");
+      b.set_node_size(static_cast<NodeId>(u), w);
+    }
+  }
+  return std::move(b).build();
+}
+
+Hypergraph read_hgr_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("hgr: cannot open " + path);
+  return read_hgr(in, path);
+}
+
+void write_hgr(const Hypergraph& g, std::ostream& out) {
+  const bool weighted_nets = !g.unit_net_costs();
+  const bool weighted_nodes = !g.unit_node_sizes();
+  int fmt = 0;
+  if (weighted_nets) fmt += 1;
+  if (weighted_nodes) fmt += 10;
+  out << g.num_nets() << ' ' << g.num_nodes();
+  if (fmt != 0) out << ' ' << (fmt < 10 ? "1" : (fmt == 10 ? "10" : "11"));
+  out << '\n';
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    if (weighted_nets) out << g.net_cost(n) << ' ';
+    bool first = true;
+    for (const NodeId u : g.pins_of(n)) {
+      if (!first) out << ' ';
+      out << (u + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+  if (weighted_nodes) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) out << g.node_size(u) << '\n';
+  }
+}
+
+void write_hgr_file(const Hypergraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("hgr: cannot write " + path);
+  write_hgr(g, out);
+}
+
+}  // namespace prop

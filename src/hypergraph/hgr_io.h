@@ -1,0 +1,31 @@
+// Reader/writer for the hMETIS .hgr hypergraph exchange format.
+//
+// Format: first line "E N [fmt]" where fmt is 1 (weighted nets), 10
+// (weighted nodes) or 11 (both).  Then E lines listing the 1-based pins of
+// each net (prefixed by the net weight when fmt has the 1-bit), then — when
+// fmt has the 10-bit — N lines of node weights.  Lines starting with '%' are
+// comments.
+//
+// This lets users run the suite on real MCNC/ISPD translations; the bundled
+// experiments use the synthetic generator (see generator.h).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+
+namespace prop {
+
+/// Parses a .hgr stream.  Throws std::runtime_error on malformed input.
+Hypergraph read_hgr(std::istream& in, std::string name = "");
+
+/// Reads a .hgr file from disk; the hypergraph name defaults to the path.
+Hypergraph read_hgr_file(const std::string& path);
+
+/// Writes `g` in .hgr format (choosing the minimal fmt code that preserves
+/// its weights).
+void write_hgr(const Hypergraph& g, std::ostream& out);
+void write_hgr_file(const Hypergraph& g, const std::string& path);
+
+}  // namespace prop

@@ -1,0 +1,5 @@
+#include "hypergraph/hypergraph.h"
+
+// Hypergraph is a plain immutable container; construction logic lives in
+// HypergraphBuilder (builder.cpp).
+namespace prop {}

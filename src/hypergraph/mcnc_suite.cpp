@@ -1,0 +1,49 @@
+#include "hypergraph/mcnc_suite.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace prop {
+
+const std::vector<CircuitSpec>& mcnc_specs() {
+  // Table 1 of the paper: name, #nodes, #nets, #pins.
+  static const std::vector<CircuitSpec> specs = {
+      {"balu", 801, 735, 2697},        {"bm1", 882, 903, 2910},
+      {"p1", 833, 902, 2908},          {"p2", 3014, 3029, 11219},
+      {"s13207", 8772, 8651, 20606},   {"s15850", 10470, 10383, 24712},
+      {"s9234", 5866, 5844, 14065},    {"struct", 1952, 1920, 5471},
+      {"19ks", 2844, 3282, 10547},     {"biomed", 6514, 5742, 21040},
+      {"industry2", 12637, 13419, 48404}, {"t2", 1663, 1720, 6134},
+      {"t3", 1607, 1618, 5807},        {"t4", 1515, 1658, 5975},
+      {"t5", 2595, 2750, 10076},       {"t6", 1752, 1541, 6638},
+  };
+  return specs;
+}
+
+const CircuitSpec& mcnc_spec(std::string_view name) {
+  for (const auto& spec : mcnc_specs()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::out_of_range("unknown MCNC benchmark: " + std::string(name));
+}
+
+Hypergraph make_mcnc_circuit(std::string_view name, std::uint64_t base_seed) {
+  const CircuitSpec& spec = mcnc_spec(name);
+  // Per-circuit seed derived from the base seed and the circuit's identity.
+  std::uint64_t h = base_seed;
+  for (const char c : spec.name) h = mix_seed(h, static_cast<std::uint64_t>(c));
+  return generate_circuit(spec, h);
+}
+
+std::vector<Hypergraph> make_mcnc_suite(std::uint64_t base_seed) {
+  std::vector<Hypergraph> suite;
+  suite.reserve(mcnc_specs().size());
+  for (const auto& spec : mcnc_specs()) {
+    suite.push_back(make_mcnc_circuit(spec.name, base_seed));
+  }
+  return suite;
+}
+
+}  // namespace prop

@@ -1,0 +1,34 @@
+// The 16-circuit benchmark suite of the paper's Table 1.
+//
+// The real ACM/SIGDA netlists are not redistributable; each suite entry is a
+// synthetic circuit (see generator.h) whose node/net/pin counts match
+// Table 1 exactly.  Every call with the same base seed reproduces the same
+// suite bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "hypergraph/generator.h"
+#include "hypergraph/hypergraph.h"
+
+namespace prop {
+
+/// Default base seed used by the bundled experiments.
+inline constexpr std::uint64_t kSuiteSeed = 0xDAC1996ULL;
+
+/// All 16 specs in the paper's Table 1 order.
+const std::vector<CircuitSpec>& mcnc_specs();
+
+/// Spec lookup by benchmark name; throws std::out_of_range if unknown.
+const CircuitSpec& mcnc_spec(std::string_view name);
+
+/// Generates the synthetic stand-in for one Table 1 circuit.
+Hypergraph make_mcnc_circuit(std::string_view name,
+                             std::uint64_t base_seed = kSuiteSeed);
+
+/// Generates the whole suite in Table 1 order.
+std::vector<Hypergraph> make_mcnc_suite(std::uint64_t base_seed = kSuiteSeed);
+
+}  // namespace prop

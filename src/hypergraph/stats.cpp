@@ -1,0 +1,37 @@
+#include "hypergraph/stats.h"
+
+#include <cstdio>
+
+namespace prop {
+
+HypergraphStats compute_stats(const Hypergraph& g) {
+  HypergraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_nets = g.num_nets();
+  s.num_pins = g.num_pins();
+  s.max_degree = g.max_degree();
+  s.max_net_size = g.max_net_size();
+  if (s.num_nodes > 0) {
+    s.avg_degree = static_cast<double>(s.num_pins) / static_cast<double>(s.num_nodes);
+  }
+  if (s.num_nets > 0) {
+    s.avg_net_size = static_cast<double>(s.num_pins) / static_cast<double>(s.num_nets);
+  }
+  s.avg_neighbors = s.avg_degree * (s.avg_net_size > 1.0 ? s.avg_net_size - 1.0 : 0.0);
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    if (g.net_size(n) <= 1) ++s.single_pin_nets;
+  }
+  return s;
+}
+
+std::string describe(const Hypergraph& g) {
+  const HypergraphStats s = compute_stats(g);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s: n=%zu e=%zu m=%zu p=%.2f q=%.2f d=%.2f",
+                g.name().empty() ? "<unnamed>" : g.name().c_str(), s.num_nodes,
+                s.num_nets, s.num_pins, s.avg_degree, s.avg_net_size,
+                s.avg_neighbors);
+  return buf;
+}
+
+}  // namespace prop

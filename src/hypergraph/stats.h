@@ -1,0 +1,29 @@
+// Descriptive statistics of a netlist — the quantities in the paper's
+// Table 1 and complexity discussion (n, e, m, p, q, d).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "hypergraph/hypergraph.h"
+
+namespace prop {
+
+struct HypergraphStats {
+  std::size_t num_nodes = 0;     ///< n
+  std::size_t num_nets = 0;      ///< e
+  std::size_t num_pins = 0;      ///< m = p*n = q*e
+  double avg_degree = 0.0;       ///< p: average nets per node
+  double avg_net_size = 0.0;     ///< q: average nodes per net
+  double avg_neighbors = 0.0;    ///< d = p*(q-1), the paper's neighbor count
+  std::size_t max_degree = 0;    ///< pmax
+  std::size_t max_net_size = 0;  ///< qmax
+  std::size_t single_pin_nets = 0;  ///< degenerate nets (never cut)
+};
+
+HypergraphStats compute_stats(const Hypergraph& g);
+
+/// One-line summary, e.g. "balu: n=801 e=735 m=2697 p=3.37 q=3.67".
+std::string describe(const Hypergraph& g);
+
+}  // namespace prop

@@ -1,0 +1,135 @@
+#include "kl/kl_partitioner.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "partition/initial.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Top free nodes of `side` by immediate gain (partial selection).
+void top_candidates(const Partition& part, const std::vector<std::uint8_t>& locked,
+                    int side, int width, std::vector<NodeId>& out) {
+  out.clear();
+  const Hypergraph& g = part.graph();
+  // (gain, node) max-selection without a full sort: keep a small sorted
+  // buffer — width is tiny (default 8).
+  std::vector<std::pair<double, NodeId>> best;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (locked[u] || part.side(u) != side) continue;
+    const double gain = part.immediate_gain(u);
+    if (static_cast<int>(best.size()) < width) {
+      best.emplace_back(gain, u);
+      std::push_heap(best.begin(), best.end(), std::greater<>{});  // min-heap
+    } else if (gain > best.front().first) {
+      std::pop_heap(best.begin(), best.end(), std::greater<>{});
+      best.back() = {gain, u};
+      std::push_heap(best.begin(), best.end(), std::greater<>{});
+    }
+  }
+  for (const auto& [gain, u] : best) out.push_back(u);
+}
+
+/// Exact cut delta of swapping (a, b): uses tentative moves, restoring the
+/// partition before returning.
+double swap_gain(Partition& part, NodeId a, NodeId b) {
+  const double before = part.cut_cost();
+  part.move(a);
+  part.move(b);
+  const double after = part.cut_cost();
+  part.move(b);
+  part.move(a);
+  return before - after;
+}
+
+/// One KL pass.  Returns the accepted prefix improvement.
+double kl_pass(Partition& part, const KlConfig& config) {
+  const Hypergraph& g = part.graph();
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint8_t> locked(n, 0);
+
+  std::vector<std::pair<NodeId, NodeId>> swapped;
+  double prefix = 0.0;
+  double best_prefix = 0.0;
+  std::size_t best_count = 0;
+
+  std::vector<NodeId> cand0;
+  std::vector<NodeId> cand1;
+  for (;;) {
+    top_candidates(part, locked, 0, config.candidate_width, cand0);
+    top_candidates(part, locked, 1, config.candidate_width, cand1);
+    if (cand0.empty() || cand1.empty()) break;
+
+    NodeId best_a = kInvalidNode;
+    NodeId best_b = kInvalidNode;
+    double best_gain = 0.0;
+    bool have = false;
+    for (const NodeId a : cand0) {
+      for (const NodeId b : cand1) {
+        const double gain = swap_gain(part, a, b);
+        if (!have || gain > best_gain) {
+          have = true;
+          best_gain = gain;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    part.move(best_a);
+    part.move(best_b);
+    locked[best_a] = 1;
+    locked[best_b] = 1;
+    swapped.emplace_back(best_a, best_b);
+    prefix += best_gain;
+    if (prefix > best_prefix + kEps) {
+      best_prefix = prefix;
+      best_count = swapped.size();
+    }
+  }
+
+  for (std::size_t i = swapped.size(); i > best_count; --i) {
+    part.move(swapped[i - 1].second);
+    part.move(swapped[i - 1].first);
+  }
+  return best_prefix;
+}
+
+}  // namespace
+
+RefineOutcome kl_refine(Partition& part, const BalanceConstraint& balance,
+                        const KlConfig& config) {
+  if (!part.graph().unit_node_sizes()) {
+    throw std::invalid_argument("KL requires unit node sizes");
+  }
+  if (!balance.feasible(part.side_size(0))) {
+    throw std::invalid_argument("KL requires a feasible starting partition");
+  }
+  RefineOutcome out;
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    const double gained = kl_pass(part, config);
+    ++out.passes;
+    if (gained <= kEps) break;
+  }
+  out.cut_cost = part.cut_cost();
+  return out;
+}
+
+PartitionResult KlPartitioner::run(const Hypergraph& g,
+                                   const BalanceConstraint& balance,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  Partition part(g, random_balanced_sides(g, balance, rng));
+  const RefineOutcome outcome = kl_refine(part, balance, config_);
+  PartitionResult result;
+  result.side = part.sides();
+  result.cut_cost = outcome.cut_cost;
+  result.passes = outcome.passes;
+  return result;
+}
+
+}  // namespace prop

@@ -1,0 +1,123 @@
+#include "kway/kway_refine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace prop {
+
+KWayRefineOutcome kway_refine(const Hypergraph& g, std::vector<NodeId>& part,
+                              NodeId k, std::uint64_t seed,
+                              const KWayRefineConfig& config) {
+  KWayState state(g, part, k);
+  Rng rng(seed);
+
+  const double share = 1.0 / static_cast<double>(k);
+  const auto total = static_cast<double>(g.total_node_size());
+  std::int64_t lo = static_cast<std::int64_t>(
+      total * share * (1.0 - config.tolerance));
+  std::int64_t hi = static_cast<std::int64_t>(
+      total * share * (1.0 + config.tolerance) + 0.999);
+  // Degenerate windows (tiny parts) get widened to one max node size.
+  std::int64_t max_node = 1;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_node = std::max<std::int64_t>(max_node, g.node_size(u));
+  }
+  if (hi - lo < 2 * max_node) {
+    lo = std::max<std::int64_t>(0, lo - max_node);
+    hi += max_node;
+  }
+
+  KWayRefineOutcome out;
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+
+  const auto gain_of = [&](NodeId u, NodeId to) {
+    return config.objective == KWayObjective::kCut
+               ? state.cut_gain(u, to)
+               : state.connectivity_gain(u, to);
+  };
+
+  // Legalization: recursive bisection compounds its per-split tolerance, so
+  // the input can sit outside the k-way window.  Shift lowest-loss nodes
+  // from over- to under-full parts until every part fits.
+  {
+    long guard = 2L * g.num_nodes() + 16;
+    for (;;) {
+      if (--guard < 0) break;  // window unreachable (pathological sizes)
+      NodeId over = k;
+      NodeId under = k;
+      for (NodeId p = 0; p < k; ++p) {
+        if (state.part_size(p) > hi) over = p;
+        if (state.part_size(p) < lo) under = p;
+      }
+      if (over == k && under == k) break;
+      // Receiver: the underfull part if any, else the smallest part.
+      NodeId to = under;
+      if (to == k) {
+        to = 0;
+        for (NodeId p = 1; p < k; ++p) {
+          if (state.part_size(p) < state.part_size(to)) to = p;
+        }
+      }
+      // Donor: the overfull part if any, else the largest part.
+      NodeId from = over;
+      if (from == k) {
+        from = 0;
+        for (NodeId p = 1; p < k; ++p) {
+          if (state.part_size(p) > state.part_size(from)) from = p;
+        }
+      }
+      if (from == to) break;
+      NodeId best = kInvalidNode;
+      double best_gain = 0.0;
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (state.part(u) != from) continue;
+        const double gain = gain_of(u, to);
+        if (best == kInvalidNode || gain > best_gain) {
+          best = u;
+          best_gain = gain;
+        }
+      }
+      if (best == kInvalidNode) break;
+      state.move(best, to);
+      ++out.moves;
+    }
+  }
+
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    ++out.passes;
+    rng.shuffle(order);
+    int moves_this_pass = 0;
+    for (const NodeId u : order) {
+      const NodeId from = state.part(u);
+      const std::int64_t sz = g.node_size(u);
+      if (state.part_size(from) - sz < lo) continue;  // would underfill
+      NodeId best_to = from;
+      double best_gain = 0.0;
+      for (NodeId to = 0; to < k; ++to) {
+        if (to == from || state.part_size(to) + sz > hi) continue;
+        const double gain = gain_of(u, to);
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best_to = to;
+        }
+      }
+      if (best_to != from) {
+        state.move(u, best_to);
+        ++moves_this_pass;
+      }
+    }
+    out.moves += moves_this_pass;
+    if (moves_this_pass == 0) break;
+  }
+
+  part = state.parts();
+  out.cut_cost = state.cut_cost();
+  out.connectivity_cost = state.connectivity_cost();
+  return out;
+}
+
+}  // namespace prop

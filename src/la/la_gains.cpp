@@ -1,0 +1,68 @@
+#include "la/la_gains.h"
+
+#include <stdexcept>
+
+namespace prop {
+
+LaGainCalculator::LaGainCalculator(const Partition& part, int levels)
+    : part_(&part), levels_(levels) {
+  if (levels < 1 || levels > GainVector::kMaxLevels) {
+    throw std::invalid_argument("LA: lookahead depth out of range");
+  }
+  reset();
+}
+
+void LaGainCalculator::reset() {
+  const Hypergraph& g = part_->graph();
+  locked_.assign(g.num_nodes(), 0);
+  free_count_.assign(2 * g.num_nets(), 0);
+  locked_count_.assign(2 * g.num_nets(), 0);
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    free_count_[2 * n + 0] = part_->pins_on_side(n, 0);
+    free_count_[2 * n + 1] = part_->pins_on_side(n, 1);
+  }
+}
+
+void LaGainCalculator::lock(NodeId u) {
+  if (locked_[u]) throw std::logic_error("LA: node already locked");
+  locked_[u] = 1;
+  const int s = part_->side(u);
+  for (const NetId n : part_->graph().nets_of(u)) {
+    --free_count_[2 * n + s];
+    ++locked_count_[2 * n + s];
+  }
+}
+
+void LaGainCalculator::move_locked(NodeId u, int from_side) {
+  if (!locked_[u]) throw std::logic_error("LA: moved node must be locked");
+  const int to = 1 - from_side;
+  for (const NetId n : part_->graph().nets_of(u)) {
+    --locked_count_[2 * n + from_side];
+    ++locked_count_[2 * n + to];
+  }
+}
+
+GainVector LaGainCalculator::net_contribution(NetId n, NodeId v) const {
+  const int a = part_->side(v);
+  const int b = 1 - a;
+  GainVector gv(levels_);
+  if (!side_locked(n, a)) {
+    const int beta_a = static_cast<int>(free_pins(n, a));  // includes v
+    if (beta_a >= 1 && beta_a <= levels_) gv.add(beta_a, +1);
+  }
+  if (!side_locked(n, b)) {
+    const int beta_b = static_cast<int>(free_pins(n, b));
+    if (beta_b + 1 <= levels_) gv.add(beta_b + 1, -1);
+  }
+  return gv;
+}
+
+GainVector LaGainCalculator::gain(NodeId u) const {
+  GainVector v(levels_);
+  for (const NetId n : part_->graph().nets_of(u)) {
+    v += net_contribution(n, u);
+  }
+  return v;
+}
+
+}  // namespace prop

@@ -1,0 +1,70 @@
+// Lookahead (LA-k) gain vectors — Krishnamurthy's refinement of FM
+// (paper Sec. 2).
+//
+// For node u in subset A, level i of the vector counts:
+//   +1 for each net n of u whose binding number beta_A(n) equals i,
+//   -1 for each net n of u whose binding number beta_B(n) equals i-1,
+// where beta_S(n) is the number of FREE pins of n in S, or "infinite"
+// (contributing nothing) when n has a locked pin in S — a net with a locked
+// pin in S can never be pulled out of S this pass.  With nothing locked
+// this reduces to the paper's wording ("nets to which i-1 other nodes of V1
+// are connected ... minus nets that have i-1 nodes of V2") and level 1
+// equals the FM gain.
+//
+// Restricted to unit net costs, as in the paper's experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "datastruct/gain_vector.h"
+#include "hypergraph/hypergraph.h"
+#include "partition/partition.h"
+
+namespace prop {
+
+/// Tracks free-pin counts per net side so binding numbers are O(1).
+class LaGainCalculator {
+ public:
+  LaGainCalculator(const Partition& part, int levels);
+
+  int levels() const noexcept { return levels_; }
+
+  /// Marks u locked (it must be free) and updates free-pin counts.
+  void lock(NodeId u);
+
+  /// Records that locked node u moved from `from_side` to the other side
+  /// (call after Partition::move so locked-pin counts track the partition).
+  void move_locked(NodeId u, int from_side);
+
+  bool is_free(NodeId u) const noexcept { return locked_[u] == 0; }
+
+  /// Gain vector of free node u under the current lock state.
+  /// O(degree) via O(1) binding-number lookups per net.
+  GainVector gain(NodeId u) const;
+
+  /// Contribution of a single net to free node v's vector, O(1).  Summing
+  /// over v's nets equals gain(v); the LA pass uses before/after deltas of
+  /// this per net touched by a move, making updates O(pins of the mover).
+  GainVector net_contribution(NetId n, NodeId v) const;
+
+  /// Resets all locks (start of a new pass); `part` must be the partition
+  /// this calculator was built on, in its current state.
+  void reset();
+
+ private:
+  std::uint32_t free_pins(NetId n, int s) const noexcept {
+    return free_count_[2 * n + s];
+  }
+  bool side_locked(NetId n, int s) const noexcept {
+    return locked_count_[2 * n + s] > 0;
+  }
+
+  const Partition* part_;
+  int levels_;
+  std::vector<std::uint32_t> free_count_;    // free pins per (net, side)
+  std::vector<std::uint32_t> locked_count_;  // locked pins per (net, side)
+  std::vector<std::uint8_t> locked_;
+};
+
+}  // namespace prop

@@ -1,0 +1,167 @@
+#include "la/la_partitioner.h"
+
+#include <vector>
+
+#include "datastruct/avl_tree.h"
+#include "datastruct/gain_vector.h"
+#include "la/la_gains.h"
+#include "partition/initial.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+using GainTree = AvlTree<GainVector>;
+
+/// One LA-k pass.  Returns the accepted prefix improvement.
+double la_pass(Partition& part, const BalanceConstraint& balance,
+               LaGainCalculator& calc, GainTree& side0, GainTree& side1) {
+  const Hypergraph& g = part.graph();
+  const NodeId n = g.num_nodes();
+
+  calc.reset();
+  side0.clear();
+  side1.clear();
+  std::vector<GainVector> gains(n);
+  for (NodeId u = 0; u < n; ++u) {
+    gains[u] = calc.gain(u);
+    (part.side(u) == 0 ? side0 : side1).insert(u, gains[u]);
+  }
+
+  // Scratch for per-move delta accumulation.
+  std::vector<GainVector> delta(n);
+  std::vector<std::uint32_t> touched(n, 0);
+  std::uint32_t stamp = 0;
+  std::vector<NodeId> affected;
+
+  std::vector<NodeId> moved;
+  moved.reserve(n);
+  double prefix = 0.0;
+  double best_prefix = 0.0;
+  std::size_t best_count = 0;
+
+  // With unit node sizes feasibility is uniform per side, so it is checked
+  // once instead of walking the tree past every infeasible node.
+  const bool unit_sizes = g.unit_node_sizes();
+  const auto best_feasible = [&](GainTree& tree, int side) {
+    if (tree.empty()) return GainTree::kNull;
+    if (unit_sizes) {
+      if (!balance.move_feasible(part.side_size(0), side, 1)) {
+        return GainTree::kNull;
+      }
+      return tree.max();
+    }
+    GainTree::Handle found = GainTree::kNull;
+    tree.for_each_descending([&](GainTree::Handle h, const GainVector&) {
+      if (balance.move_feasible(part.side_size(0), side, g.node_size(h))) {
+        found = h;
+        return false;
+      }
+      return true;
+    });
+    return found;
+  };
+
+  while (true) {
+    const auto h0 = best_feasible(side0, 0);
+    const auto h1 = best_feasible(side1, 1);
+    if (h0 == GainTree::kNull && h1 == GainTree::kNull) break;
+
+    NodeId u;
+    if (h0 == GainTree::kNull) {
+      u = h1;
+    } else if (h1 == GainTree::kNull) {
+      u = h0;
+    } else if (side0.key(h0) != side1.key(h1)) {
+      u = side0.key(h0) > side1.key(h1) ? h0 : h1;
+    } else {
+      u = part.side_size(0) >= part.side_size(1) ? h0 : h1;
+    }
+
+    const int from = part.side(u);
+    const double immediate = part.immediate_gain(u);
+    (from == 0 ? side0 : side1).erase(u);
+
+    // Locking and moving u changes binding numbers only on u's nets; each
+    // free pin of those nets gets the before/after delta of that net's O(1)
+    // contribution — O(pins of u's nets) per move in total.
+    ++stamp;
+    affected.clear();
+    const auto visit = [&](double sign) {
+      for (const NetId net : g.nets_of(u)) {
+        for (const NodeId v : g.pins_of(net)) {
+          if (v == u || !calc.is_free(v)) continue;
+          if (touched[v] != stamp) {
+            touched[v] = stamp;
+            delta[v] = GainVector(gains[v].levels());
+            affected.push_back(v);
+          }
+          GainVector c = calc.net_contribution(net, v);
+          if (sign < 0) {
+            delta[v] -= c;
+          } else {
+            delta[v] += c;
+          }
+        }
+      }
+    };
+    visit(-1.0);
+    calc.lock(u);
+    part.move(u);
+    calc.move_locked(u, from);
+    visit(+1.0);
+
+    for (const NodeId v : affected) {
+      if (delta[v].is_zero()) continue;  // contribution unchanged
+      gains[v] += delta[v];
+      GainTree& tree = part.side(v) == 0 ? side0 : side1;
+      if (tree.contains(v)) tree.update(v, gains[v]);
+    }
+
+    moved.push_back(u);
+    prefix += immediate;
+    if (prefix > best_prefix + kEps) {
+      best_prefix = prefix;
+      best_count = moved.size();
+    }
+  }
+
+  for (std::size_t i = moved.size(); i > best_count; --i) {
+    part.move(moved[i - 1]);
+  }
+  return best_prefix;
+}
+
+}  // namespace
+
+RefineOutcome la_refine(Partition& part, const BalanceConstraint& balance,
+                        const LaConfig& config) {
+  LaGainCalculator calc(part, config.lookahead);
+  GainTree side0(part.graph().num_nodes());
+  GainTree side1(part.graph().num_nodes());
+  RefineOutcome out;
+  for (int pass = 0; pass < config.max_passes; ++pass) {
+    const double gained = la_pass(part, balance, calc, side0, side1);
+    ++out.passes;
+    if (gained <= kEps) break;
+  }
+  out.cut_cost = part.cut_cost();
+  return out;
+}
+
+PartitionResult LaPartitioner::run(const Hypergraph& g,
+                                   const BalanceConstraint& balance,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  Partition part(g, random_balanced_sides(g, balance, rng));
+  const RefineOutcome outcome = la_refine(part, balance, config_);
+  PartitionResult result;
+  result.side = part.sides();
+  result.cut_cost = outcome.cut_cost;
+  result.passes = outcome.passes;
+  return result;
+}
+
+}  // namespace prop

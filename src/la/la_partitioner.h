@@ -1,0 +1,39 @@
+// LA-k bipartitioner: FM-style passes selecting by lexicographic lookahead
+// gain vector (paper Sec. 2).  Gain vectors live in an AVL tree, avoiding
+// the Theta(p^k) bucket memory blow-up the paper criticizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "partition/partition.h"
+#include "partition/partitioner.h"
+
+namespace prop {
+
+struct LaConfig {
+  /// Lookahead depth k; the paper reports k = 2..4 as useful.
+  int lookahead = 2;
+  int max_passes = 64;
+};
+
+/// Improves `part` in place with LA-k passes until no positive gain.
+RefineOutcome la_refine(Partition& part, const BalanceConstraint& balance,
+                        const LaConfig& config = {});
+
+class LaPartitioner final : public Bipartitioner {
+ public:
+  explicit LaPartitioner(LaConfig config = {}) : config_(config) {}
+
+  std::string name() const override {
+    return "LA-" + std::to_string(config_.lookahead);
+  }
+
+  PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
+                      std::uint64_t seed) override;
+
+ private:
+  LaConfig config_;
+};
+
+}  // namespace prop

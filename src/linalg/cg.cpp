@@ -1,0 +1,63 @@
+#include "linalg/cg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.h"
+
+namespace prop {
+
+CgResult conjugate_gradient(const CsrMatrix& A, const std::vector<double>& b,
+                            std::vector<double>& x, const CgOptions& options) {
+  const std::size_t n = A.size();
+  if (b.size() != n || x.size() != n) {
+    throw std::invalid_argument("cg: dimension mismatch");
+  }
+  CgResult out;
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    out.converged = true;
+    return out;
+  }
+
+  std::vector<double> inv_diag = A.diagonal();
+  for (auto& dv : inv_diag) dv = dv > 0.0 ? 1.0 / dv : 1.0;
+
+  std::vector<double> r(n);
+  std::vector<double> zv(n);
+  std::vector<double> p(n);
+  std::vector<double> Ap(n);
+
+  A.multiply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  for (std::size_t i = 0; i < n; ++i) zv[i] = inv_diag[i] * r[i];
+  p = zv;
+  double rz = dot(r, zv);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    out.iterations = it + 1;
+    A.multiply(p, Ap);
+    const double pAp = dot(p, Ap);
+    if (pAp <= 0.0) break;  // not SPD (or p == 0)
+    const double alpha = rz / pAp;
+    axpy(alpha, p, x);
+    axpy(-alpha, Ap, r);
+    const double rel = norm2(r) / bnorm;
+    if (rel < options.tolerance) {
+      out.residual = rel;
+      out.converged = true;
+      return out;
+    }
+    for (std::size_t i = 0; i < n; ++i) zv[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, zv);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = zv[i] + beta * p[i];
+  }
+  out.residual = norm2(r) / bnorm;
+  out.converged = out.residual < options.tolerance;
+  return out;
+}
+
+}  // namespace prop

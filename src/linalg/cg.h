@@ -1,0 +1,28 @@
+// Jacobi-preconditioned conjugate gradient for SPD systems — used by the
+// PARABOLI-style quadratic placer.
+#pragma once
+
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+
+namespace prop {
+
+struct CgOptions {
+  int max_iterations = 500;
+  double tolerance = 1e-8;  ///< relative residual ||r|| / ||b||
+};
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;  ///< final relative residual
+  bool converged = false;
+};
+
+/// Solves A x = b in place (x is the starting guess and the solution).
+/// A must be symmetric positive definite.
+CgResult conjugate_gradient(const CsrMatrix& A, const std::vector<double>& b,
+                            std::vector<double>& x,
+                            const CgOptions& options = {});
+
+}  // namespace prop

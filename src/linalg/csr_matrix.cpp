@@ -1,0 +1,63 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prop {
+
+CsrMatrix CsrMatrix::from_triplets(std::uint32_t n,
+                                   std::vector<Triplet> entries) {
+  for (const Triplet& t : entries) {
+    if (t.row >= n || t.col >= n) {
+      throw std::out_of_range("csr: triplet index out of range");
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.offsets_.assign(n + 1, 0);
+  m.cols_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  std::size_t i = 0;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    while (i < entries.size() && entries[i].row == r) {
+      const std::uint32_t c = entries[i].col;
+      double v = 0.0;
+      while (i < entries.size() && entries[i].row == r && entries[i].col == c) {
+        v += entries[i].value;
+        ++i;
+      }
+      m.cols_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.offsets_[r + 1] = m.cols_.size();
+  }
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  const std::uint32_t n = size();
+  for (std::uint32_t r = 0; r < n; ++r) {
+    double acc = 0.0;
+    for (std::size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      acc += values_[i] * x[cols_[i]];
+    }
+    y[r] = acc;
+  }
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  const std::uint32_t n = size();
+  std::vector<double> d(n, 0.0);
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::size_t i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      if (cols_[i] == r) d[r] += values_[i];
+    }
+  }
+  return d;
+}
+
+}  // namespace prop

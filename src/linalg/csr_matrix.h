@@ -1,0 +1,51 @@
+// Sparse symmetric matrix in CSR form — substrate for the spectral (EIG1,
+// MELO) and analytic-placement (PARABOLI) comparators.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace prop {
+
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds an n x n matrix; duplicate (row, col) entries are summed.
+  /// Only the entries given are stored — callers wanting symmetry must
+  /// provide both (i, j) and (j, i) (see laplacian.cpp).
+  static CsrMatrix from_triplets(std::uint32_t n, std::vector<Triplet> entries);
+
+  std::uint32_t size() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+  std::size_t nnz() const noexcept { return values_.size(); }
+
+  /// y = A * x.  Spans must have length size().
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Copy of the diagonal (0 where absent) — Jacobi preconditioner.
+  std::vector<double> diagonal() const;
+
+  std::span<const std::uint32_t> row_cols(std::uint32_t r) const noexcept {
+    return {cols_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
+  }
+  std::span<const double> row_values(std::uint32_t r) const noexcept {
+    return {values_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace prop

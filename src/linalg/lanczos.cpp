@@ -1,0 +1,180 @@
+#include "linalg/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/vector_ops.h"
+
+namespace prop {
+
+bool tridiagonal_eigen(std::vector<double>& d, std::vector<double>& e,
+                       std::vector<double>& z) {
+  // EISPACK tql2 / Numerical-Recipes tqli, 0-based.  e[i] couples d[i] and
+  // d[i+1]; e[n-1] is workspace.  z accumulates the rotations (initialized
+  // to identity here); eigenvector j ends up in column j of the row-major
+  // n x n matrix z.
+  const int n = static_cast<int>(d.size());
+  if (static_cast<int>(e.size()) < n) e.resize(n, 0.0);
+  z.assign(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) z[static_cast<std::size_t>(i) * n + i] = 1.0;
+  if (n == 0) return true;
+  e[n - 1] = 0.0;
+
+  for (int l = 0; l < n; ++l) {
+    int iter = 0;
+    int m;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-15 * dd) break;
+      }
+      if (m != l) {
+        if (iter++ == 64) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        int i;
+        for (i = m - 1; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = std::hypot(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (int k = 0; k < n; ++k) {
+            const std::size_t row = static_cast<std::size_t>(k) * n;
+            f = z[row + i + 1];
+            z[row + i + 1] = s * z[row + i] + c * f;
+            z[row + i] = c * z[row + i] - s * f;
+          }
+        }
+        if (r == 0.0 && i >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+EigenResult smallest_eigenpairs(const CsrMatrix& A, int k, Rng& rng,
+                                const LanczosOptions& options) {
+  const std::uint32_t n = A.size();
+  if (k < 1) throw std::invalid_argument("lanczos: k must be >= 1");
+  if (n == 0) return {};
+
+  const std::vector<double> ones(n, 1.0);
+  const int dim_cap = std::min<int>(options.max_iterations, static_cast<int>(n));
+
+  std::vector<std::vector<double>> basis;
+  std::vector<double> alpha;
+  std::vector<double> beta;  // beta[j] couples basis[j] and basis[j+1]
+
+  const auto full_orthogonalize = [&](std::vector<double>& w) {
+    if (options.deflate_constant) project_out(w, ones);
+    for (const auto& v : basis) project_out(w, v);
+    // Second sweep guards against cancellation in the first.
+    if (options.deflate_constant) project_out(w, ones);
+    for (const auto& v : basis) project_out(w, v);
+  };
+
+  const auto random_start = [&](std::vector<double>& w) {
+    for (auto& x : w) x = rng.uniform() - 0.5;
+    full_orthogonalize(w);
+    return normalize(w) > 1e-10;
+  };
+
+  std::vector<double> v(n);
+  if (!random_start(v)) {
+    // Space orthogonal to ones is empty (n == 1 with deflation).
+    EigenResult trivial;
+    for (int i = 0; i < k; ++i) {
+      trivial.values.push_back(0.0);
+      trivial.vectors.emplace_back(n, 0.0);
+    }
+    return trivial;
+  }
+  basis.push_back(v);
+
+  std::vector<double> w(n);
+  while (static_cast<int>(basis.size()) < dim_cap) {
+    const std::size_t j = basis.size() - 1;
+    A.multiply(basis[j], w);
+    alpha.resize(j + 1);
+    alpha[j] = dot(w, basis[j]);
+    full_orthogonalize(w);
+    const double b = norm2(w);
+    if (b < 1e-10) {
+      // Invariant subspace exhausted: restart in a fresh direction (handles
+      // disconnected graphs / multiple eigenvalues).
+      std::vector<double> fresh(n);
+      if (!random_start(fresh)) break;
+      beta.push_back(0.0);
+      basis.push_back(std::move(fresh));
+      continue;
+    }
+    scale(std::span<double>(w), 1.0 / b);
+    beta.push_back(b);
+    basis.push_back(w);
+  }
+  // alpha for the final vector.
+  {
+    const std::size_t j = basis.size() - 1;
+    if (alpha.size() < basis.size()) {
+      A.multiply(basis[j], w);
+      alpha.resize(basis.size());
+      alpha[j] = dot(w, basis[j]);
+    }
+  }
+
+  const int m = static_cast<int>(basis.size());
+  std::vector<double> d(alpha.begin(), alpha.begin() + m);
+  std::vector<double> e(m, 0.0);
+  for (int i = 0; i + 1 < m; ++i) e[i] = beta[i];
+  std::vector<double> z;
+  if (!tridiagonal_eigen(d, e, z)) {
+    throw std::runtime_error("lanczos: tridiagonal eigensolver stalled");
+  }
+
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return d[a] < d[b]; });
+
+  EigenResult out;
+  const int take = std::min(k, m);
+  for (int t = 0; t < take; ++t) {
+    const int col = order[t];
+    out.values.push_back(d[col]);
+    std::vector<double> x(n, 0.0);
+    for (int j = 0; j < m; ++j) {
+      axpy(z[static_cast<std::size_t>(j) * m + col], basis[j], x);
+    }
+    normalize(x);
+    out.vectors.push_back(std::move(x));
+  }
+  // Pad (degenerate tiny systems) so callers can rely on k entries.
+  while (static_cast<int>(out.values.size()) < k) {
+    out.values.push_back(out.values.empty() ? 0.0 : out.values.back());
+    out.vectors.emplace_back(n, 0.0);
+  }
+  return out;
+}
+
+}  // namespace prop

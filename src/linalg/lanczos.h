@@ -1,0 +1,43 @@
+// Lanczos eigensolver for the smallest eigenpairs of a sparse symmetric
+// matrix — used to extract Fiedler (EIG1) and higher (MELO) eigenvectors of
+// netlist Laplacians.
+//
+// Full reorthogonalization keeps the Krylov basis numerically orthogonal
+// (circuit Laplacians are small enough here that the O(n * iters^2) cost is
+// negligible next to the partitioners).  For Laplacians the trivial
+// constant eigenvector is deflated by projecting it out of every basis
+// vector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+#include "util/rng.h"
+
+namespace prop {
+
+struct LanczosOptions {
+  int max_iterations = 160;  ///< Krylov dimension cap
+  double tolerance = 1e-8;   ///< residual tolerance on wanted Ritz pairs
+  bool deflate_constant = true;  ///< project out the all-ones vector
+};
+
+struct EigenResult {
+  std::vector<double> values;                ///< ascending
+  std::vector<std::vector<double>> vectors;  ///< unit-norm, same order
+};
+
+/// Returns the `k` smallest eigenpairs of A (excluding the deflated
+/// constant direction when deflate_constant is set).  Deterministic in rng.
+EigenResult smallest_eigenpairs(const CsrMatrix& A, int k, Rng& rng,
+                                const LanczosOptions& options = {});
+
+/// Dense symmetric tridiagonal eigensolver (EISPACK tql2): diag/offdiag of
+/// length m (offdiag[0] unused); returns eigenvalues ascending in `diag`
+/// and accumulates eigenvectors into the m x m row-major matrix `z`
+/// (initialized to identity by the function).  Exposed for tests.
+bool tridiagonal_eigen(std::vector<double>& diag, std::vector<double>& offdiag,
+                       std::vector<double>& z);
+
+}  // namespace prop

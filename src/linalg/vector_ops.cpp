@@ -1,0 +1,36 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+namespace prop {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<double> x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void project_out(std::span<double> v, std::span<const double> u) {
+  const double uu = dot(u, u);
+  if (uu <= 0.0) return;
+  const double coeff = dot(v, u) / uu;
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] -= coeff * u[i];
+}
+
+double normalize(std::span<double> v) {
+  const double n = norm2(v);
+  if (n > 0.0) scale(v, 1.0 / n);
+  return n;
+}
+
+}  // namespace prop

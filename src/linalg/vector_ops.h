@@ -1,0 +1,25 @@
+// Dense vector helpers shared by the Lanczos and CG solvers.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace prop {
+
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void scale(std::span<double> x, double alpha);
+
+/// Removes from v its component along u (u need not be normalized; no-op
+/// for u = 0).
+void project_out(std::span<double> v, std::span<const double> u);
+
+/// Scales v to unit 2-norm; returns the original norm (0 -> v untouched).
+double normalize(std::span<double> v);
+
+}  // namespace prop

@@ -1,0 +1,31 @@
+#include "partition/balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prop {
+
+BalanceConstraint BalanceConstraint::fraction(const Hypergraph& g, double r1,
+                                              double r2) {
+  if (!(r1 > 0.0) || !(r2 < 1.0) || r1 > r2) {
+    throw std::invalid_argument("balance: need 0 < r1 <= r2 < 1");
+  }
+  const std::int64_t total = g.total_node_size();
+  std::int64_t lo = static_cast<std::int64_t>(std::ceil(r1 * static_cast<double>(total) - 1e-9));
+  std::int64_t hi = static_cast<std::int64_t>(std::floor(r2 * static_cast<double>(total) + 1e-9));
+
+  std::int64_t max_size = 1;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_size = std::max(max_size, g.node_size(u));
+  }
+  if (hi - lo < 2 * max_size) {
+    lo -= max_size;
+    hi += max_size;
+  }
+  lo = std::max<std::int64_t>(lo, 0);
+  hi = std::min(hi, total);
+  return BalanceConstraint(lo, hi, total);
+}
+
+}  // namespace prop

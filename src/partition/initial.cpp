@@ -1,0 +1,63 @@
+#include "partition/initial.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace prop {
+
+std::vector<std::uint8_t> random_balanced_sides(const Hypergraph& g,
+                                                const BalanceConstraint& balance,
+                                                Rng& rng) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+
+  const std::int64_t target = (balance.lo() + balance.hi()) / 2;
+  std::vector<std::uint8_t> side(n, 1);
+  std::int64_t size0 = 0;
+  // Greedy fill in random order: put nodes on side 0 while it stays at or
+  // below the window midpoint.  With unit sizes this is an exact split.
+  for (const NodeId u : order) {
+    const std::int64_t sz = g.node_size(u);
+    if (size0 + sz <= target) {
+      side[u] = 0;
+      size0 += sz;
+    }
+  }
+  // Weighted nodes can leave side 0 short of the window; top up with the
+  // smallest side-1 nodes that fit.
+  if (size0 < balance.lo()) {
+    for (const NodeId u : order) {
+      if (side[u] == 1 && size0 + g.node_size(u) <= balance.hi()) {
+        side[u] = 0;
+        size0 += g.node_size(u);
+        if (size0 >= balance.lo()) break;
+      }
+    }
+  }
+  return side;
+}
+
+void repair_balance(Partition& part, const BalanceConstraint& balance) {
+  const Hypergraph& g = part.graph();
+  int guard = static_cast<int>(g.num_nodes()) + 1;
+  while (!balance.feasible(part.side_size(0))) {
+    if (--guard < 0) throw std::runtime_error("repair_balance: stuck");
+    const int heavy = part.side_size(0) > balance.hi() ? 0 : 1;
+    NodeId best = kInvalidNode;
+    double best_gain = 0.0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (part.side(u) != heavy) continue;
+      const double gain = part.immediate_gain(u);
+      if (best == kInvalidNode || gain > best_gain) {
+        best = u;
+        best_gain = gain;
+      }
+    }
+    if (best == kInvalidNode) throw std::runtime_error("repair_balance: empty side");
+    part.move(best);
+  }
+}
+
+}  // namespace prop

@@ -1,0 +1,31 @@
+// Random balanced initial partitions for iterative-improvement methods.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "partition/balance.h"
+#include "util/rng.h"
+
+namespace prop {
+
+/// Returns a uniformly random node assignment whose side-0 size lands as
+/// close as possible to the middle of the balance window (always feasible
+/// for unit node sizes; greedy first-fit for weighted nodes).
+std::vector<std::uint8_t> random_balanced_sides(const Hypergraph& g,
+                                                const BalanceConstraint& balance,
+                                                Rng& rng);
+
+}  // namespace prop
+
+#include "partition/partition.h"
+
+namespace prop {
+
+/// Moves best-immediate-gain nodes off the overloaded side until `part`
+/// satisfies `balance` (used to legalize projected coarse partitions).
+/// Throws std::runtime_error if the window cannot be reached.
+void repair_balance(Partition& part, const BalanceConstraint& balance);
+
+}  // namespace prop

@@ -1,0 +1,47 @@
+#include "partition/metrics.h"
+
+namespace prop {
+
+PartitionMetrics compute_metrics(const Partition& part) {
+  const Hypergraph& g = part.graph();
+  PartitionMetrics m;
+  m.cut_cost = part.cut_cost();
+  m.cut_nets = part.cut_nets();
+  m.size0 = part.side_size(0);
+  m.size1 = part.side_size(1);
+  const double total = static_cast<double>(m.size0 + m.size1);
+  if (total > 0.0) {
+    m.balance_ratio =
+        static_cast<double>(m.size0 < m.size1 ? m.size0 : m.size1) / total;
+  }
+  const double product =
+      static_cast<double>(m.size0) * static_cast<double>(m.size1);
+  if (product > 0.0) {
+    m.ratio_cut = m.cut_cost / product;
+    m.scaled_cost = m.cut_cost / (static_cast<double>(g.num_nodes()) * product);
+  }
+  // Absorption (Sun-Sechen): how completely clusters absorb their nets;
+  // higher is better.  For 2-way: sum over nets of (max-side pins - 1) /
+  // (|n| - 1) ... the standard form credits each side's pins.
+  double absorption = 0.0;
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    const std::size_t sz = g.net_size(n);
+    if (sz < 2) continue;
+    const double denom = static_cast<double>(sz - 1);
+    for (int s = 0; s < 2; ++s) {
+      const std::uint32_t pins = part.pins_on_side(n, s);
+      if (pins > 0) {
+        absorption += static_cast<double>(pins - 1) / denom;
+      }
+    }
+  }
+  m.absorption = absorption;
+  return m;
+}
+
+double ratio_cut(const Hypergraph& g, std::span<const std::uint8_t> side) {
+  const Partition part(g, side);
+  return compute_metrics(part).ratio_cut;
+}
+
+}  // namespace prop

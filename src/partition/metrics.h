@@ -1,0 +1,33 @@
+// Partition quality metrics beyond raw cut cost — the objectives the
+// paper's comparator families optimize (ratio cut for EIG1/WINDOW-era
+// methods, scaled cost for spectral evaluations) plus descriptive balance
+// measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hypergraph/hypergraph.h"
+#include "partition/partition.h"
+
+namespace prop {
+
+struct PartitionMetrics {
+  double cut_cost = 0.0;       ///< sum of costs of cut nets
+  std::size_t cut_nets = 0;    ///< number of cut nets
+  std::int64_t size0 = 0;      ///< total node size on side 0
+  std::int64_t size1 = 0;
+  double balance_ratio = 0.0;  ///< min(size)/total, 0.5 = perfect
+  double ratio_cut = 0.0;      ///< cut / (size0 * size1)  (Wei-Cheng)
+  double scaled_cost = 0.0;    ///< cut / (n * size0 * size1) (Chan et al.)
+  double absorption = 0.0;     ///< sum over nets of (pins(n, side) - 1)/(|n| - 1)
+};
+
+/// Computes all metrics in one O(m) sweep.
+PartitionMetrics compute_metrics(const Partition& part);
+
+/// Ratio cut of an explicit assignment (convenience for constructive
+/// methods that have no Partition object).
+double ratio_cut(const Hypergraph& g, std::span<const std::uint8_t> side);
+
+}  // namespace prop

@@ -1,0 +1,99 @@
+#include "partition/partition.h"
+
+#include <stdexcept>
+
+namespace prop {
+
+Partition::Partition(const Hypergraph& g)
+    : g_(&g), sides_(g.num_nodes(), 0), pin_count_(2 * g.num_nets(), 0) {
+  rebuild();
+}
+
+Partition::Partition(const Hypergraph& g, std::span<const std::uint8_t> sides)
+    : g_(&g), pin_count_(2 * g.num_nets(), 0) {
+  if (sides.size() != g.num_nodes()) {
+    throw std::invalid_argument("partition: side vector size mismatch");
+  }
+  sides_.assign(sides.begin(), sides.end());
+  rebuild();
+}
+
+void Partition::assign(std::span<const std::uint8_t> sides) {
+  if (sides.size() != g_->num_nodes()) {
+    throw std::invalid_argument("partition: side vector size mismatch");
+  }
+  sides_.assign(sides.begin(), sides.end());
+  rebuild();
+}
+
+void Partition::rebuild() {
+  side_size_[0] = side_size_[1] = 0;
+  for (NodeId u = 0; u < g_->num_nodes(); ++u) {
+    if (sides_[u] > 1) throw std::invalid_argument("partition: side must be 0/1");
+    side_size_[sides_[u]] += g_->node_size(u);
+  }
+  pin_count_.assign(2 * g_->num_nets(), 0);
+  cut_cost_ = 0.0;
+  cut_nets_ = 0;
+  for (NetId n = 0; n < g_->num_nets(); ++n) {
+    for (const NodeId u : g_->pins_of(n)) ++pin_count_[2 * n + sides_[u]];
+    if (is_cut(n)) {
+      cut_cost_ += g_->net_cost(n);
+      ++cut_nets_;
+    }
+  }
+}
+
+void Partition::move(NodeId u) {
+  const int from = sides_[u];
+  const int to = 1 - from;
+  for (const NetId n : g_->nets_of(u)) {
+    const bool was_cut = is_cut(n);
+    --pin_count_[2 * n + from];
+    ++pin_count_[2 * n + to];
+    const bool now_cut = is_cut(n);
+    if (was_cut != now_cut) {
+      const double c = g_->net_cost(n);
+      if (now_cut) {
+        cut_cost_ += c;
+        ++cut_nets_;
+      } else {
+        cut_cost_ -= c;
+        --cut_nets_;
+      }
+    }
+  }
+  sides_[u] = static_cast<std::uint8_t>(to);
+  side_size_[from] -= g_->node_size(u);
+  side_size_[to] += g_->node_size(u);
+}
+
+double Partition::immediate_gain(NodeId u) const noexcept {
+  // Paper Eqn. 1 via pin counts: a net leaves the cutset iff u is its only
+  // pin on u's side (and it has pins on the other side); a net enters the
+  // cutset iff it currently lies entirely on u's side.
+  const int s = sides_[u];
+  double gain = 0.0;
+  for (const NetId n : g_->nets_of(u)) {
+    const std::uint32_t same = pins_on_side(n, s);
+    const std::uint32_t other = pins_on_side(n, 1 - s);
+    if (same == 1 && other > 0) gain += g_->net_cost(n);
+    if (other == 0 && same > 1) gain -= g_->net_cost(n);
+  }
+  return gain;
+}
+
+double Partition::recompute_cut_cost() const {
+  double cost = 0.0;
+  for (NetId n = 0; n < g_->num_nets(); ++n) {
+    bool side0 = false;
+    bool side1 = false;
+    for (const NodeId u : g_->pins_of(n)) {
+      (sides_[u] == 0 ? side0 : side1) = true;
+    }
+    if (side0 && side1) cost += g_->net_cost(n);
+  }
+  return cost;
+}
+
+}  // namespace prop

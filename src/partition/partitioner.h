@@ -1,0 +1,44 @@
+// Common interface implemented by every bipartitioner in the suite
+// (FM, LA-k, PROP, EIG1, MELO, PARABOLI, WINDOW).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "partition/balance.h"
+
+namespace prop {
+
+/// Outcome of an in-place refinement (fm_refine, la_refine, prop_refine).
+struct RefineOutcome {
+  double cut_cost = 0.0;
+  int passes = 0;
+};
+
+struct PartitionResult {
+  std::vector<std::uint8_t> side;  ///< 0/1 per node
+  double cut_cost = std::numeric_limits<double>::infinity();
+  int passes = 0;  ///< improvement passes executed (0 for constructive methods)
+
+  bool valid() const noexcept { return !side.empty(); }
+};
+
+class Bipartitioner {
+ public:
+  virtual ~Bipartitioner() = default;
+
+  /// Short identifier used in experiment tables (e.g. "FM-bucket", "PROP").
+  virtual std::string name() const = 0;
+
+  /// Produces a balanced 2-way partition of `g`.  `seed` drives all
+  /// randomness (initial solutions, tie-breaking); equal seeds give equal
+  /// results.
+  virtual PartitionResult run(const Hypergraph& g,
+                              const BalanceConstraint& balance,
+                              std::uint64_t seed) = 0;
+};
+
+}  // namespace prop

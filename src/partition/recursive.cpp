@@ -1,0 +1,117 @@
+#include "partition/recursive.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "hypergraph/builder.h"
+#include "util/rng.h"
+
+namespace prop {
+
+Hypergraph induce_subgraph(const Hypergraph& g, const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> global_to_local(g.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    global_to_local[nodes[i]] = static_cast<NodeId>(i);
+  }
+  HypergraphBuilder builder(static_cast<NodeId>(nodes.size()));
+  builder.set_name(g.name() + ".sub");
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    builder.set_node_size(static_cast<NodeId>(i), g.node_size(nodes[i]));
+  }
+  // Visit each net once via its lowest-indexed member inside the subset.
+  std::vector<char> seen(g.num_nets(), 0);
+  std::vector<NodeId> pins;
+  for (const NodeId u : nodes) {
+    for (const NetId n : g.nets_of(u)) {
+      if (seen[n]) continue;
+      seen[n] = 1;
+      pins.clear();
+      for (const NodeId v : g.pins_of(n)) {
+        if (global_to_local[v] != kInvalidNode) {
+          pins.push_back(global_to_local[v]);
+        }
+      }
+      if (pins.size() >= 2) builder.add_net(pins, g.net_cost(n));
+    }
+  }
+  return std::move(builder).build();
+}
+
+double kway_cut_cost(const Hypergraph& g, const std::vector<NodeId>& part) {
+  double cost = 0.0;
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    const auto pins = g.pins_of(n);
+    if (pins.empty()) continue;
+    const NodeId first = part[pins.front()];
+    for (const NodeId u : pins) {
+      if (part[u] != first) {
+        cost += g.net_cost(n);
+        break;
+      }
+    }
+  }
+  return cost;
+}
+
+namespace {
+
+void split(Bipartitioner& partitioner, const Hypergraph& g,
+           const std::vector<NodeId>& nodes, NodeId k, NodeId first_part,
+           std::uint64_t seed, const KWayOptions& options,
+           std::vector<NodeId>& part) {
+  if (k == 1) {
+    for (const NodeId u : nodes) part[u] = first_part;
+    return;
+  }
+  if (nodes.size() == k) {
+    // One node per part: skip the (degenerate) balanced-bisection machinery.
+    NodeId next = first_part;
+    for (const NodeId u : nodes) part[u] = next++;
+    return;
+  }
+  const NodeId k0 = (k + 1) / 2;
+  const NodeId k1 = k - k0;
+
+  const Hypergraph sub = induce_subgraph(g, nodes);
+  const double share = static_cast<double>(k0) / static_cast<double>(k);
+  const double r1 = std::max(0.01, share * (1.0 - options.tolerance));
+  const double r2 = std::min(0.99, share * (1.0 + options.tolerance));
+  const BalanceConstraint balance = BalanceConstraint::fraction(sub, r1, r2);
+
+  const PartitionResult result =
+      partitioner.run(sub, balance, mix_seed(seed, k, first_part));
+  if (result.side.size() != nodes.size()) {
+    throw std::logic_error("recursive_bisection: partitioner returned bad result");
+  }
+
+  std::vector<NodeId> left;
+  std::vector<NodeId> right;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    (result.side[i] == 0 ? left : right).push_back(nodes[i]);
+  }
+  split(partitioner, g, left, k0, first_part, mix_seed(seed, 0), options, part);
+  split(partitioner, g, right, k1, first_part + k0, mix_seed(seed, 1), options,
+        part);
+}
+
+}  // namespace
+
+KWayResult recursive_bisection(Bipartitioner& partitioner, const Hypergraph& g,
+                               NodeId k, std::uint64_t seed,
+                               const KWayOptions& options) {
+  if (k < 1) throw std::invalid_argument("recursive_bisection: k must be >= 1");
+  if (k > g.num_nodes()) {
+    throw std::invalid_argument("recursive_bisection: k exceeds node count");
+  }
+  KWayResult out;
+  out.k = k;
+  out.part.assign(g.num_nodes(), 0);
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) all[u] = u;
+  split(partitioner, g, all, k, 0, seed, options, out.part);
+  out.cut_cost = kway_cut_cost(g, out.part);
+  return out;
+}
+
+}  // namespace prop

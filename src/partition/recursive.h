@@ -1,0 +1,43 @@
+// Recursive 2-way partitioning into k subsets.
+//
+// The paper (Sec. 1) frames k-way partitioning as recursive min-cut
+// bisection and names k-way partitioning as a direct application of PROP;
+// this driver implements it for any Bipartitioner.  Subset size targets are
+// proportional (ceil(k/2) : floor(k/2)) with a relative tolerance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "partition/partitioner.h"
+
+namespace prop {
+
+struct KWayResult {
+  std::vector<NodeId> part;  ///< part id in [0, k) per node
+  NodeId k = 0;
+  double cut_cost = 0.0;  ///< sum of costs of nets touching >= 2 parts
+};
+
+struct KWayOptions {
+  /// Per-split relative size tolerance (0.1 = each side within 10% of its
+  /// proportional share).
+  double tolerance = 0.1;
+};
+
+/// Splits `g` into k parts by recursive bisection with `partitioner`.
+/// Requires k >= 1.  Deterministic in `seed`.
+KWayResult recursive_bisection(Bipartitioner& partitioner, const Hypergraph& g,
+                               NodeId k, std::uint64_t seed,
+                               const KWayOptions& options = {});
+
+/// Cost of a k-way partition: sum of c(n) over nets spanning >= 2 parts.
+double kway_cut_cost(const Hypergraph& g, const std::vector<NodeId>& part);
+
+/// Induced sub-hypergraph on `nodes` (nets keep only their pins inside the
+/// subset; nets left with < 2 pins are dropped).  `local_to_global` returns
+/// the node mapping.
+Hypergraph induce_subgraph(const Hypergraph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace prop

@@ -1,0 +1,34 @@
+#include "partition/runner.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace prop {
+
+MultiRunResult run_many(Bipartitioner& partitioner, const Hypergraph& g,
+                        const BalanceConstraint& balance, int runs,
+                        std::uint64_t base_seed) {
+  if (runs <= 0) throw std::invalid_argument("run_many: runs must be positive");
+  MultiRunResult out;
+  out.cuts.reserve(static_cast<std::size_t>(runs));
+  CpuTimer timer;
+  for (int r = 0; r < runs; ++r) {
+    const std::uint64_t seed = mix_seed(base_seed, static_cast<std::uint64_t>(r));
+    PartitionResult result = partitioner.run(g, balance, seed);
+    const ValidationReport report = validate_result(g, balance, result);
+    if (!report.ok) {
+      throw std::logic_error(partitioner.name() + " produced invalid result on " +
+                             g.name() + ": " + report.message);
+    }
+    out.cuts.push_back(result.cut_cost);
+    if (!out.best.valid() || result.cut_cost < out.best.cut_cost) {
+      out.best = std::move(result);
+    }
+  }
+  out.total_seconds = timer.seconds();
+  out.seconds_per_run = out.total_seconds / runs;
+  return out;
+}
+
+}  // namespace prop

@@ -1,0 +1,37 @@
+// Multi-start harness: the paper reports "FM20 / FM40 / FM100", "PROP with
+// 20 runs" etc. — the best cut over N independent runs from random starts —
+// plus CPU seconds per run (Table 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/partitioner.h"
+#include "partition/validate.h"
+#include "util/timer.h"
+
+namespace prop {
+
+struct MultiRunResult {
+  PartitionResult best;
+  std::vector<double> cuts;    ///< cut of every run, in run order
+  double total_seconds = 0.0;  ///< CPU time over all runs
+  double seconds_per_run = 0.0;
+
+  double best_cut() const noexcept { return best.cut_cost; }
+  double mean_cut() const noexcept {
+    if (cuts.empty()) return 0.0;
+    double s = 0.0;
+    for (const double c : cuts) s += c;
+    return s / static_cast<double>(cuts.size());
+  }
+};
+
+/// Runs `partitioner` `runs` times with seeds derived from `base_seed`,
+/// validating every result (throws std::logic_error on an invalid one),
+/// and keeps the best.
+MultiRunResult run_many(Bipartitioner& partitioner, const Hypergraph& g,
+                        const BalanceConstraint& balance, int runs,
+                        std::uint64_t base_seed);
+
+}  // namespace prop

@@ -1,0 +1,46 @@
+#include "partition/validate.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "partition/partition.h"
+
+namespace prop {
+namespace {
+
+ValidationReport fail(std::string message) {
+  return ValidationReport{false, std::move(message)};
+}
+
+}  // namespace
+
+ValidationReport validate_result(const Hypergraph& g,
+                                 const BalanceConstraint& balance,
+                                 const PartitionResult& result) {
+  if (result.side.size() != g.num_nodes()) {
+    return fail("side vector has wrong length");
+  }
+  for (const auto s : result.side) {
+    if (s > 1) return fail("side value out of {0,1}");
+  }
+  Partition part(g, result.side);
+  if (!balance.feasible(part.side_size(0))) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "balance violated: side0=%lld not in [%lld, %lld]",
+                  static_cast<long long>(part.side_size(0)),
+                  static_cast<long long>(balance.lo()),
+                  static_cast<long long>(balance.hi()));
+    return fail(buf);
+  }
+  const double recomputed = part.recompute_cut_cost();
+  if (std::abs(recomputed - result.cut_cost) > 1e-6 * (1.0 + recomputed)) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "cut mismatch: claimed %.6f, actual %.6f",
+                  result.cut_cost, recomputed);
+    return fail(buf);
+  }
+  return ValidationReport{};
+}
+
+}  // namespace prop

@@ -1,0 +1,24 @@
+// Invariant checks for partitions and partitioner results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "partition/balance.h"
+#include "partition/partitioner.h"
+
+namespace prop {
+
+struct ValidationReport {
+  bool ok = true;
+  std::string message;  ///< first violation found, empty when ok
+};
+
+/// Checks that `result` is a well-formed, balanced partition of `g` and
+/// that its claimed cut cost matches a from-scratch recomputation.
+ValidationReport validate_result(const Hypergraph& g,
+                                 const BalanceConstraint& balance,
+                                 const PartitionResult& result);
+
+}  // namespace prop

@@ -1,0 +1,97 @@
+#include "placement/paraboli.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "placement/quadratic_placer.h"
+#include "spectral/sweep_split.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+/// Farthest node from `start` in hops (BFS over shared nets); used to seed
+/// the first placement with two well-separated anchors.
+NodeId farthest_node(const Hypergraph& g, NodeId start) {
+  std::vector<int> dist(g.num_nodes(), -1);
+  std::queue<NodeId> queue;
+  dist[start] = 0;
+  queue.push(start);
+  NodeId last = start;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    last = u;
+    for (const NetId n : g.nets_of(u)) {
+      for (const NodeId v : g.pins_of(n)) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+PartitionResult ParaboliPartitioner::run(const Hypergraph& g,
+                                         const BalanceConstraint& balance,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  const NodeId n = g.num_nodes();
+  QuadraticPlacer placer(g);
+
+  // Seed solve: two far-apart nodes pinned to the line ends.  The global
+  // quadratic optimum with two pins tracks the dominant separation
+  // direction, giving the re-anchoring rounds a structured start.
+  const NodeId a = static_cast<NodeId>(rng.bounded(n));
+  const NodeId b0 = farthest_node(g, a);
+  const NodeId b = b0 == a ? static_cast<NodeId>((a + 1) % n) : b0;
+  std::vector<double> x(n, 0.5);
+  placer.solve({{a, 0.0, config_.anchor_weight}, {b, 1.0, config_.anchor_weight}},
+               x, config_.cg);
+
+  // Re-anchoring rounds: pin the current extremes to the ends and re-solve,
+  // progressively separating the two natural halves.  Every intermediate
+  // placement is also a split candidate — the schedule is not monotone in
+  // cut quality, so the best one over all rounds is kept (mirroring
+  // PARABOLI's evaluation of each partitioning step).
+  const std::size_t pin_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.anchor_fraction * n));
+  std::vector<NodeId> order(n);
+  const auto sort_by_position = [&] {
+    std::iota(order.begin(), order.end(), NodeId{0});
+    std::sort(order.begin(), order.end(), [&](NodeId p, NodeId q) {
+      return x[p] != x[q] ? x[p] < x[q] : p < q;
+    });
+  };
+
+  PartitionResult best;
+  for (int it = 0; it < config_.iterations; ++it) {
+    sort_by_position();
+    PartitionResult candidate = best_prefix_split(g, balance, order);
+    if (!best.valid() || candidate.cut_cost < best.cut_cost) {
+      best = std::move(candidate);
+    }
+    std::vector<Anchor> anchors;
+    anchors.reserve(2 * pin_count);
+    for (std::size_t i = 0; i < pin_count; ++i) {
+      anchors.push_back({order[i], 0.0, config_.anchor_weight});
+      anchors.push_back({order[n - 1 - i], 1.0, config_.anchor_weight});
+    }
+    placer.solve(anchors, x, config_.cg);
+  }
+
+  sort_by_position();
+  PartitionResult candidate = best_prefix_split(g, balance, order);
+  if (!best.valid() || candidate.cut_cost < best.cut_cost) {
+    best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace prop

@@ -1,0 +1,39 @@
+// PARABOLI-style analytic partitioner (Riess, Doll & Johannes, DAC 1994),
+// a Table 3 comparator.
+//
+// Faithful core, simplified schedule (substitution documented in
+// DESIGN.md): place the netlist on a line by quadratic programming, pull
+// the extremes apart with anchor springs, re-solve a few times
+// (GORDIAN-style iteration), then take the best balanced prefix split of
+// the final coordinates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/cg.h"
+#include "partition/partitioner.h"
+
+namespace prop {
+
+struct ParaboliConfig {
+  int iterations = 8;            ///< re-anchoring rounds
+  double anchor_fraction = 0.25; ///< share of nodes pinned per end
+  double anchor_weight = 2.0;
+  CgOptions cg;
+};
+
+class ParaboliPartitioner final : public Bipartitioner {
+ public:
+  explicit ParaboliPartitioner(ParaboliConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "PARABOLI"; }
+
+  PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
+                      std::uint64_t seed) override;
+
+ private:
+  ParaboliConfig config_;
+};
+
+}  // namespace prop

@@ -1,0 +1,48 @@
+#include "placement/quadratic_placer.h"
+
+#include <stdexcept>
+
+#include "spectral/laplacian.h"
+
+namespace prop {
+
+QuadraticPlacer::QuadraticPlacer(const Hypergraph& g)
+    : g_(&g), laplacian_(clique_laplacian(g)) {}
+
+CgResult QuadraticPlacer::solve(const std::vector<Anchor>& anchors,
+                                std::vector<double>& x,
+                                const CgOptions& options) const {
+  if (anchors.empty()) {
+    throw std::invalid_argument("placer: at least one anchor required");
+  }
+  const std::uint32_t n = g_->num_nodes();
+  if (x.size() != n) x.assign(n, 0.0);
+
+  // A = L + diag(anchor weights); b = anchor weight * target.
+  std::vector<Triplet> extra;
+  extra.reserve(anchors.size());
+  std::vector<double> b(n, 0.0);
+  for (const Anchor& a : anchors) {
+    if (a.node >= n) throw std::out_of_range("placer: anchor node out of range");
+    if (a.weight <= 0.0) throw std::invalid_argument("placer: anchor weight <= 0");
+    extra.push_back({a.node, a.node, a.weight});
+    b[a.node] += a.weight * a.target;
+  }
+  // Cheap way to add the diagonal: rebuild from the Laplacian rows plus the
+  // anchor triplets.  The Laplacian dominates nnz, so this costs one sort.
+  std::vector<Triplet> entries;
+  entries.reserve(laplacian_.nnz() + extra.size());
+  for (std::uint32_t r = 0; r < n; ++r) {
+    const auto cols = laplacian_.row_cols(r);
+    const auto vals = laplacian_.row_values(r);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      entries.push_back({r, cols[i], vals[i]});
+    }
+  }
+  entries.insert(entries.end(), extra.begin(), extra.end());
+  const CsrMatrix system = CsrMatrix::from_triplets(n, std::move(entries));
+
+  return conjugate_gradient(system, b, x, options);
+}
+
+}  // namespace prop

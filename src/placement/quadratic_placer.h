@@ -1,0 +1,39 @@
+// 1-D quadratic placement with anchors — substrate for the PARABOLI-style
+// partitioner.
+//
+// Minimizes sum over clique-model edges of w_ij (x_i - x_j)^2 plus anchor
+// springs a_u (x_u - t_u)^2, i.e. solves (L + A) x = A t with the SPD
+// system handled by preconditioned CG.
+#pragma once
+
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "linalg/cg.h"
+#include "linalg/csr_matrix.h"
+
+namespace prop {
+
+struct Anchor {
+  NodeId node = 0;
+  double target = 0.0;
+  double weight = 1.0;
+};
+
+class QuadraticPlacer {
+ public:
+  /// Builds the clique-model Laplacian once; solve() reuses it.
+  explicit QuadraticPlacer(const Hypergraph& g);
+
+  /// Solves for placement coordinates given anchors (at least one anchor is
+  /// required to make the system definite).  `x` is the starting guess and
+  /// receives the solution.
+  CgResult solve(const std::vector<Anchor>& anchors, std::vector<double>& x,
+                 const CgOptions& options = {}) const;
+
+ private:
+  const Hypergraph* g_;
+  CsrMatrix laplacian_;
+};
+
+}  // namespace prop

@@ -1,0 +1,32 @@
+#include "spectral/eig1.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "spectral/laplacian.h"
+#include "spectral/sweep_split.h"
+#include "util/rng.h"
+
+namespace prop {
+
+PartitionResult Eig1Partitioner::run(const Hypergraph& g,
+                                     const BalanceConstraint& balance,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  const CsrMatrix laplacian = clique_laplacian(g);
+  // With the constant direction deflated, the smallest remaining eigenpair
+  // is the Fiedler vector.
+  const EigenResult eig = smallest_eigenpairs(laplacian, 1, rng, config_.lanczos);
+  const std::vector<double>& fiedler = eig.vectors.front();
+
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return fiedler[a] != fiedler[b] ? fiedler[a] < fiedler[b] : a < b;
+  });
+
+  return best_prefix_split(g, balance, order);
+}
+
+}  // namespace prop

@@ -1,0 +1,34 @@
+// EIG1 — Hagen & Kahng's spectral partitioner (ICCAD 1991), one of the
+// clustering-based comparators in the paper's Table 3.
+//
+// Computes the Fiedler vector (second-smallest Laplacian eigenvector) of
+// the clique-expanded netlist, orders nodes by their eigenvector component
+// and takes the best balanced prefix split of that ordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/lanczos.h"
+#include "partition/partitioner.h"
+
+namespace prop {
+
+struct Eig1Config {
+  LanczosOptions lanczos;
+};
+
+class Eig1Partitioner final : public Bipartitioner {
+ public:
+  explicit Eig1Partitioner(Eig1Config config = {}) : config_(config) {}
+
+  std::string name() const override { return "EIG1"; }
+
+  PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
+                      std::uint64_t seed) override;
+
+ private:
+  Eig1Config config_;
+};
+
+}  // namespace prop

@@ -1,0 +1,40 @@
+#include "spectral/laplacian.h"
+
+#include <vector>
+
+namespace prop {
+namespace {
+
+std::vector<Triplet> clique_triplets(const Hypergraph& g, bool laplacian) {
+  std::vector<Triplet> entries;
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    const auto pins = g.pins_of(n);
+    const std::size_t s = pins.size();
+    if (s < 2) continue;
+    const double w = g.net_cost(n) / static_cast<double>(s - 1);
+    for (std::size_t i = 0; i < s; ++i) {
+      for (std::size_t j = i + 1; j < s; ++j) {
+        const double off = laplacian ? -w : w;
+        entries.push_back({pins[i], pins[j], off});
+        entries.push_back({pins[j], pins[i], off});
+        if (laplacian) {
+          entries.push_back({pins[i], pins[i], w});
+          entries.push_back({pins[j], pins[j], w});
+        }
+      }
+    }
+  }
+  return entries;
+}
+
+}  // namespace
+
+CsrMatrix clique_laplacian(const Hypergraph& g) {
+  return CsrMatrix::from_triplets(g.num_nodes(), clique_triplets(g, true));
+}
+
+CsrMatrix clique_adjacency(const Hypergraph& g) {
+  return CsrMatrix::from_triplets(g.num_nodes(), clique_triplets(g, false));
+}
+
+}  // namespace prop

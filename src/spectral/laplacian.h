@@ -1,0 +1,18 @@
+// Graph Laplacian of a netlist under the standard clique net model:
+// a net of size s and cost c contributes an edge of weight c/(s-1) between
+// every pin pair, so every net's total induced weight stays bounded.  This
+// is the model EIG1/MELO-era spectral partitioners operate on.
+#pragma once
+
+#include "hypergraph/hypergraph.h"
+#include "linalg/csr_matrix.h"
+
+namespace prop {
+
+/// L = D - W (symmetric positive semidefinite, row sums 0).
+CsrMatrix clique_laplacian(const Hypergraph& g);
+
+/// W alone (adjacency weights of the clique expansion).
+CsrMatrix clique_adjacency(const Hypergraph& g);
+
+}  // namespace prop

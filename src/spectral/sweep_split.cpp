@@ -1,0 +1,76 @@
+#include "spectral/sweep_split.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace prop {
+
+PartitionResult best_prefix_split(const Hypergraph& g,
+                                  const BalanceConstraint& balance,
+                                  const std::vector<NodeId>& order) {
+  const NodeId n = g.num_nodes();
+  if (order.size() != n) {
+    throw std::invalid_argument("sweep: order must cover all nodes");
+  }
+
+  // Incremental cut as nodes migrate from side 1 (suffix) to side 0
+  // (prefix): a net is cut while it has pins on both sides.
+  std::vector<std::uint32_t> prefix_pins(g.num_nets(), 0);
+  double cut = 0.0;
+  std::int64_t size0 = 0;
+
+  double best_cut = std::numeric_limits<double>::infinity();
+  std::size_t best_prefix = 0;
+  // Fallback when no feasible prefix exists: least window violation.
+  std::int64_t best_violation = std::numeric_limits<std::int64_t>::max();
+  std::size_t fallback_prefix = 0;
+
+  for (std::size_t i = 0; i + 1 <= n; ++i) {
+    const NodeId u = order[i];
+    for (const NetId net : g.nets_of(u)) {
+      const std::uint32_t before = prefix_pins[net]++;
+      const std::size_t sz = g.net_size(net);
+      if (before == 0 && sz > 1) cut += g.net_cost(net);  // first pin crosses in
+      if (before + 1 == sz && sz > 1) cut -= g.net_cost(net);  // fully inside
+    }
+    size0 += g.node_size(u);
+    if (i + 1 == n) break;  // degenerate: everything on one side
+
+    if (balance.feasible(size0)) {
+      if (cut < best_cut) {
+        best_cut = cut;
+        best_prefix = i + 1;
+      }
+    } else {
+      const std::int64_t violation =
+          size0 < balance.lo() ? balance.lo() - size0 : size0 - balance.hi();
+      if (violation < best_violation) {
+        best_violation = violation;
+        fallback_prefix = i + 1;
+      }
+    }
+  }
+
+  const std::size_t split =
+      std::isinf(best_cut) ? fallback_prefix : best_prefix;
+  PartitionResult result;
+  result.side.assign(n, 1);
+  for (std::size_t i = 0; i < split; ++i) result.side[order[i]] = 0;
+
+  // Recompute the exact cost of the chosen split (cheap, and immune to the
+  // incremental bookkeeping).
+  double cost = 0.0;
+  for (NetId net = 0; net < g.num_nets(); ++net) {
+    bool s0 = false;
+    bool s1 = false;
+    for (const NodeId u : g.pins_of(net)) {
+      (result.side[u] == 0 ? s0 : s1) = true;
+    }
+    if (s0 && s1) cost += g.net_cost(net);
+  }
+  result.cut_cost = cost;
+  return result;
+}
+
+}  // namespace prop

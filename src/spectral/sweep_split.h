@@ -1,0 +1,24 @@
+// Linear-ordering sweep split: given a vertex ordering, evaluate every
+// prefix/suffix bipartition in O(m) total and return the best one inside
+// the balance window.  This is the final step of EIG1, MELO and the
+// PARABOLI-style placer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+#include "partition/balance.h"
+#include "partition/partitioner.h"
+
+namespace prop {
+
+/// `order` must be a permutation of all nodes; the prefix becomes side 0.
+/// Returns the minimum-cut feasible split; if no prefix is feasible
+/// (possible only with weighted nodes), the split closest to the window is
+/// returned.
+PartitionResult best_prefix_split(const Hypergraph& g,
+                                  const BalanceConstraint& balance,
+                                  const std::vector<NodeId>& order);
+
+}  // namespace prop

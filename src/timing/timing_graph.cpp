@@ -1,0 +1,165 @@
+#include "timing/timing_graph.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "hypergraph/builder.h"
+
+namespace prop {
+namespace {
+
+/// DFS post-order over the first-pin-drives digraph, skipping back edges.
+/// Returns a topological order of the acyclic remainder and counts the
+/// dropped back edges.
+struct TopoResult {
+  std::vector<NodeId> order;  ///< topological (sources first)
+  std::size_t back_edges = 0;
+};
+
+TopoResult topological_order(const Hypergraph& g) {
+  const NodeId n = g.num_nodes();
+  TopoResult out;
+  out.order.reserve(n);
+  // 0 = white, 1 = on stack (grey), 2 = done (black).
+  std::vector<std::uint8_t> color(n, 0);
+
+  struct Frame {
+    NodeId node;
+    std::size_t net_index;
+    std::size_t pin_index;
+  };
+  std::vector<Frame> stack;
+  std::vector<NodeId> post;
+  post.reserve(n);
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != 0) continue;
+    stack.push_back({root, 0, 1});
+    color[root] = 1;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto nets = g.nets_of(f.node);
+      bool descended = false;
+      while (f.net_index < nets.size()) {
+        const NetId net = nets[f.net_index];
+        const auto pins = g.pins_of(net);
+        // Only nets driven by this node (first pin) fan out from it.
+        if (pins.empty() || pins.front() != f.node) {
+          ++f.net_index;
+          f.pin_index = 1;
+          continue;
+        }
+        if (f.pin_index >= pins.size()) {
+          ++f.net_index;
+          f.pin_index = 1;
+          continue;
+        }
+        const NodeId sink = pins[f.pin_index++];
+        if (color[sink] == 0) {
+          color[sink] = 1;
+          stack.push_back({sink, 0, 1});
+          descended = true;
+          break;
+        }
+        if (color[sink] == 1) ++out.back_edges;  // cycle edge: dropped
+      }
+      if (descended) continue;
+      if (f.net_index >= nets.size()) {
+        color[f.node] = 2;
+        post.push_back(f.node);
+        stack.pop_back();
+      }
+    }
+  }
+  // Reverse post-order = topological order of the DAG remainder.
+  out.order.assign(post.rbegin(), post.rend());
+  return out;
+}
+
+}  // namespace
+
+TimingAnalysis analyze_timing(const Hypergraph& g, const TimingOptions& options) {
+  const NodeId n = g.num_nodes();
+  const double edge_delay = options.node_delay + options.net_delay;
+
+  TimingAnalysis sta;
+  sta.arrival.assign(n, 0.0);
+
+  const TopoResult topo = topological_order(g);
+  sta.back_edges = topo.back_edges;
+
+  std::vector<std::uint32_t> rank(n, 0);
+  for (std::uint32_t i = 0; i < topo.order.size(); ++i) rank[topo.order[i]] = i;
+
+  // Forward propagation in topological order (back edges ignored by the
+  // rank guard, matching the edges the DFS dropped up to tie variations).
+  for (const NodeId u : topo.order) {
+    for (const NetId net : g.nets_of(u)) {
+      const auto pins = g.pins_of(net);
+      if (pins.empty() || pins.front() != u) continue;
+      for (std::size_t i = 1; i < pins.size(); ++i) {
+        const NodeId sink = pins[i];
+        if (rank[sink] <= rank[u]) continue;  // dropped back edge
+        sta.arrival[sink] =
+            std::max(sta.arrival[sink], sta.arrival[u] + edge_delay);
+      }
+    }
+  }
+  sta.critical_path = 0.0;
+  for (const double a : sta.arrival) sta.critical_path = std::max(sta.critical_path, a);
+
+  // Backward propagation for required times.
+  sta.required.assign(n, sta.critical_path);
+  for (auto it = topo.order.rbegin(); it != topo.order.rend(); ++it) {
+    const NodeId u = *it;
+    for (const NetId net : g.nets_of(u)) {
+      const auto pins = g.pins_of(net);
+      if (pins.empty() || pins.front() != u) continue;
+      for (std::size_t i = 1; i < pins.size(); ++i) {
+        const NodeId sink = pins[i];
+        if (rank[sink] <= rank[u]) continue;
+        sta.required[u] =
+            std::min(sta.required[u], sta.required[sink] - edge_delay);
+      }
+    }
+  }
+
+  // Net slack: tightest of its driver->sink edges.
+  sta.net_slack.assign(g.num_nets(), sta.critical_path);
+  for (NetId net = 0; net < g.num_nets(); ++net) {
+    const auto pins = g.pins_of(net);
+    if (pins.size() < 2) continue;
+    const NodeId driver = pins.front();
+    double slack = sta.critical_path;
+    for (std::size_t i = 1; i < pins.size(); ++i) {
+      const NodeId sink = pins[i];
+      if (rank[sink] <= rank[driver]) continue;
+      slack = std::min(slack,
+                       sta.required[sink] - (sta.arrival[driver] + edge_delay));
+    }
+    sta.net_slack[net] = slack;
+  }
+  return sta;
+}
+
+Hypergraph apply_timing_weights(const Hypergraph& g, const TimingAnalysis& sta,
+                                double alpha) {
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("timing weights: alpha must be positive");
+  }
+  HypergraphBuilder builder(g.num_nodes());
+  builder.set_name(g.name() + ".timing");
+  std::vector<NodeId> pins;
+  for (NetId net = 0; net < g.num_nets(); ++net) {
+    pins.assign(g.pins_of(net).begin(), g.pins_of(net).end());
+    const double cost =
+        g.net_cost(net) * (1.0 + alpha * sta.net_criticality(net));
+    builder.add_net(pins, cost);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    builder.set_node_size(u, g.node_size(u));
+  }
+  return std::move(builder).build();
+}
+
+}  // namespace prop

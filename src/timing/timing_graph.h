@@ -1,0 +1,52 @@
+// Static timing analysis over a netlist — the substrate behind the paper's
+// timing-driven motivation ("if we are trying to minimize timing, then a
+// critical net is assigned more weight", Sec. 1, citing Jackson,
+// Srinivasan & Kuh).
+//
+// The undirected netlist is given a conventional signal orientation: each
+// net's first pin drives, the remaining pins sink.  That induces a directed
+// graph over nodes; any cycles (latch loops, arbitrary pin order) are
+// broken by ignoring back edges discovered during the topological sort, as
+// production STA tools do for combinational analysis.  Unit node delays and
+// unit net delays give arrival/required times and per-net slack, from which
+// net criticalities and timing-driven net weights are derived.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hypergraph/hypergraph.h"
+
+namespace prop {
+
+struct TimingAnalysis {
+  std::vector<double> arrival;    ///< per node
+  std::vector<double> required;   ///< per node
+  std::vector<double> net_slack;  ///< per net (min over its sink edges)
+  double critical_path = 0.0;     ///< max arrival
+  std::size_t back_edges = 0;     ///< edges dropped to break cycles
+
+  /// Criticality in [0, 1]: 1 on the critical path, 0 at max slack.
+  double net_criticality(NetId n) const {
+    if (critical_path <= 0.0) return 0.0;
+    const double s = net_slack[n];
+    const double c = 1.0 - s / critical_path;
+    return c < 0.0 ? 0.0 : (c > 1.0 ? 1.0 : c);
+  }
+};
+
+struct TimingOptions {
+  double node_delay = 1.0;
+  double net_delay = 1.0;
+};
+
+/// Runs unit-delay STA with first-pin-drives orientation.
+TimingAnalysis analyze_timing(const Hypergraph& g,
+                              const TimingOptions& options = {});
+
+/// Rebuilds `g` with net costs 1 + alpha * criticality(n) — the paper's
+/// "critical net is assigned more weight" policy.  alpha > 0.
+Hypergraph apply_timing_weights(const Hypergraph& g, const TimingAnalysis& sta,
+                                double alpha);
+
+}  // namespace prop

@@ -1,0 +1,93 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace prop {
+namespace {
+
+bool looks_like_flag(std::string_view arg) {
+  return arg.size() > 2 && arg.substr(0, 2) == "--";
+}
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(body.substr(0, eq))] = std::string(body.substr(eq + 1));
+      continue;
+    }
+    // --name value (when the next token is not itself a flag), else boolean.
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      flags_[std::string(body)] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[std::string(body)] = "";
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CliArgs::get_or(const std::string& name, std::string fallback) const {
+  const auto v = get(name);
+  return v ? *v : std::move(fallback);
+}
+
+std::optional<std::int64_t> CliArgs::get_int(const std::string& name) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return std::nullopt;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+std::int64_t CliArgs::get_int_or(const std::string& name,
+                                 std::int64_t fallback) const {
+  const auto v = get_int(name);
+  return v ? *v : fallback;
+}
+
+std::optional<double> CliArgs::get_double(const std::string& name) const {
+  const auto v = get(name);
+  if (!v || v->empty()) return std::nullopt;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+double CliArgs::get_double_or(const std::string& name, double fallback) const {
+  const auto v = get_double(name);
+  return v ? *v : fallback;
+}
+
+bool CliArgs::get_bool_or(const std::string& name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes" || *v == "on")
+    return true;
+  if (*v == "0" || *v == "false" || *v == "no" || *v == "off") return false;
+  return fallback;
+}
+
+std::vector<std::string> CliArgs::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
+}  // namespace prop

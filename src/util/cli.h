@@ -1,0 +1,51 @@
+// Tiny command-line flag parser shared by the examples and bench harnesses.
+//
+// Supports --name=value, --name value, and boolean --name forms, plus
+// positional arguments.  Unknown flags are collected so callers can reject
+// or ignore them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace prop {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const noexcept { return program_; }
+
+  bool has(const std::string& name) const;
+
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, std::string fallback) const;
+
+  std::optional<std::int64_t> get_int(const std::string& name) const;
+  std::int64_t get_int_or(const std::string& name, std::int64_t fallback) const;
+
+  std::optional<double> get_double(const std::string& name) const;
+  double get_double_or(const std::string& name, double fallback) const;
+
+  /// Boolean flag: present without value, or with value in
+  /// {1,true,yes,on} / {0,false,no,off}.
+  bool get_bool_or(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Names of all flags that were parsed (for unknown-flag validation).
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace prop

@@ -1,0 +1,48 @@
+// Minimal leveled logging for the library.  Examples and benches keep the
+// default WARN level quiet; set PROP_LOG=info|debug or call set_log_level()
+// for diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace prop {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Current global threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug"/"info"/"warn"/"error"/"off"; anything else -> kWarn.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace prop

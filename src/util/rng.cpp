@@ -1,0 +1,5 @@
+#include "util/rng.h"
+
+// Header-only implementation; this translation unit anchors the library and
+// provides a home for future out-of-line additions.
+namespace prop {}

@@ -1,0 +1,105 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All randomness in the library flows through Rng so that every table in
+// EXPERIMENTS.md can be regenerated bit-for-bit from a base seed.  The
+// generator is xoshiro256** (Blackman & Vigna), seeded through SplitMix64 as
+// its authors recommend.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace prop {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into generator state
+/// and to hash tuples (circuit id, run index) into independent seeds.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes an arbitrary list of 64-bit values into a single well-distributed
+/// seed.  Used to derive per-(circuit, run) seeds from a base seed.
+template <typename... Ts>
+constexpr std::uint64_t mix_seed(std::uint64_t base, Ts... parts) noexcept {
+  std::uint64_t s = base;
+  ((s = splitmix64(s) ^ static_cast<std::uint64_t>(parts)), ...);
+  return splitmix64(s);
+}
+
+/// xoshiro256** — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9badf00ddeadbeefULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift (unbiased for
+  /// practical purposes at 64-bit width).  bound must be > 0.
+  std::uint64_t bounded(std::uint64_t bound) noexcept {
+    const auto x = operator()();
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    bounded(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    const auto n = c.size();
+    if (n < 2) return;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const auto j = bounded(i + 1);
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace prop

@@ -1,0 +1,64 @@
+// Wall-clock and CPU timers used by the Table 4 runtime reproduction.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace prop {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch (user + system), matching the paper's
+/// "CPU times in secs per run" methodology.
+class CpuTimer {
+ public:
+  CpuTimer() noexcept { reset(); }
+  void reset() noexcept { start_ = now(); }
+  double seconds() const noexcept { return now() - start_; }
+
+ private:
+  static double now() noexcept;
+  double start_ = 0.0;
+};
+
+/// Accumulates timing samples and reports simple statistics.
+class TimingStats {
+ public:
+  void add(double seconds) noexcept {
+    total_ += seconds;
+    if (count_ == 0 || seconds < min_) min_ = seconds;
+    if (count_ == 0 || seconds > max_) max_ = seconds;
+    ++count_;
+  }
+
+  double total() const noexcept { return total_; }
+  double mean() const noexcept { return count_ ? total_ / count_ : 0.0; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  double total_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace prop

@@ -1,0 +1,67 @@
+#include "cluster/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "hypergraph/builder.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(Ordering, IsAPermutation) {
+  const Hypergraph g = testing::small_random_circuit(121);
+  Rng rng(1);
+  const OrderingResult r = window_ordering(g, 10, rng);
+  ASSERT_EQ(r.order.size(), g.num_nodes());
+  ASSERT_EQ(r.attraction.size(), g.num_nodes());
+  std::vector<NodeId> sorted = r.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(sorted[u], u);
+}
+
+TEST(Ordering, KeepsBlocksContiguous) {
+  // Two dense blocks joined by a single bridge: the ordering must finish
+  // one block before crossing the bridge.
+  const Hypergraph g = testing::chain_of_blocks(2, 10);
+  Rng rng(2);
+  const OrderingResult r = window_ordering(g, 5, rng);
+  std::vector<int> block_of(20);
+  for (int u = 0; u < 20; ++u) block_of[static_cast<std::size_t>(u)] = u / 10;
+  int switches = 0;
+  for (std::size_t i = 0; i + 1 < r.order.size(); ++i) {
+    if (block_of[r.order[i]] != block_of[r.order[i + 1]]) ++switches;
+  }
+  EXPECT_EQ(switches, 1);
+}
+
+TEST(Ordering, SeedAttractionIsZero) {
+  const Hypergraph g = testing::small_random_circuit(123);
+  Rng rng(3);
+  const OrderingResult r = window_ordering(g, 8, rng);
+  EXPECT_DOUBLE_EQ(r.attraction[0], 0.0);
+  // Later nodes in a connected circuit should mostly attach positively.
+  const double positive = static_cast<double>(
+      std::count_if(r.attraction.begin(), r.attraction.end(),
+                    [](double a) { return a > 0.0; }));
+  EXPECT_GT(positive / static_cast<double>(r.attraction.size()), 0.5);
+}
+
+TEST(Ordering, UnboundedWindowWorks) {
+  const Hypergraph g = testing::chain_of_blocks(3, 5);
+  Rng rng(4);
+  const OrderingResult r = window_ordering(g, 0, rng);
+  EXPECT_EQ(r.order.size(), g.num_nodes());
+}
+
+TEST(Ordering, DeterministicInRng) {
+  const Hypergraph g = testing::small_random_circuit(127);
+  Rng r1(9);
+  Rng r2(9);
+  EXPECT_EQ(window_ordering(g, 10, r1).order, window_ordering(g, 10, r2).order);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,59 @@
+#include "cluster/window.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/validate.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(Window, SeparatesPlantedBlocks) {
+  const Hypergraph g = testing::chain_of_blocks(8, 8);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  WindowPartitioner window;
+  const PartitionResult r = window.run(g, balance, 1);
+  EXPECT_LE(r.cut_cost, 2.0);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+TEST(Window, ValidOnRandomCircuit) {
+  const Hypergraph g = testing::small_random_circuit(131);
+  for (const auto& balance : {BalanceConstraint::fifty_fifty(g),
+                              BalanceConstraint::forty_five(g)}) {
+    WindowPartitioner window;
+    const PartitionResult r = window.run(g, balance, 2);
+    const ValidationReport report = validate_result(g, balance, r);
+    EXPECT_TRUE(report.ok) << report.message;
+  }
+}
+
+TEST(Window, DeterministicInSeed) {
+  const Hypergraph g = testing::small_random_circuit(133);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  WindowPartitioner window;
+  EXPECT_EQ(window.run(g, balance, 5).side, window.run(g, balance, 5).side);
+}
+
+TEST(Window, SmallClusterCapStillValid) {
+  const Hypergraph g = testing::small_random_circuit(137);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  WindowConfig config;
+  config.max_cluster_size = 2;
+  WindowPartitioner window(config);
+  const PartitionResult r = window.run(g, balance, 3);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+TEST(Window, FewerCoarseRunsStillValid) {
+  const Hypergraph g = testing::small_random_circuit(139);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  WindowConfig config;
+  config.coarse_runs = 1;
+  WindowPartitioner window(config);
+  const PartitionResult r = window.run(g, balance, 4);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,74 @@
+#include "core/probability_model.h"
+
+#include <gtest/gtest.h>
+
+namespace prop {
+namespace {
+
+TEST(ProbabilityModel, PaperDefaults) {
+  const ProbabilityModel m;
+  EXPECT_DOUBLE_EQ(m.pinit, 0.95);
+  EXPECT_DOUBLE_EQ(m.pmax, 0.95);
+  EXPECT_DOUBLE_EQ(m.pmin, 0.4);
+  EXPECT_DOUBLE_EQ(m.gup, 1.0);
+  EXPECT_DOUBLE_EQ(m.glo, -1.0);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(ProbabilityModel, SaturatesAtThresholds) {
+  const ProbabilityModel m;
+  EXPECT_DOUBLE_EQ(m.from_gain(1.0), m.pmax);
+  EXPECT_DOUBLE_EQ(m.from_gain(5.0), m.pmax);
+  EXPECT_DOUBLE_EQ(m.from_gain(-1.0), m.pmin);
+  EXPECT_DOUBLE_EQ(m.from_gain(-7.0), m.pmin);
+}
+
+TEST(ProbabilityModel, LinearInBetween) {
+  const ProbabilityModel m;
+  EXPECT_DOUBLE_EQ(m.from_gain(0.0), (m.pmin + m.pmax) / 2.0);
+  EXPECT_DOUBLE_EQ(m.from_gain(0.5), m.pmin + 0.75 * (m.pmax - m.pmin));
+}
+
+TEST(ProbabilityModel, MonotonicallyIncreasing) {
+  const ProbabilityModel m;
+  double prev = 0.0;
+  for (double g = -2.0; g <= 2.0; g += 0.05) {
+    const double p = m.from_gain(g);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, m.pmin);
+    EXPECT_LE(p, m.pmax);
+    prev = p;
+  }
+}
+
+TEST(ProbabilityModel, ValidateRejectsBadConfigs) {
+  ProbabilityModel m;
+  m.pmin = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = ProbabilityModel{};
+  m.pmax = 1.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = ProbabilityModel{};
+  m.glo = 2.0;  // glo >= gup
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = ProbabilityModel{};
+  m.pinit = 0.1;  // below pmin
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = ProbabilityModel{};
+  m.pmin = 0.9;
+  m.pmax = 0.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(ProbabilityModel, PmaxOfOneAllowed) {
+  // The paper: "it is not unreasonable to have pmax = 1, but pmin
+  // definitely needs to be greater than 0".
+  ProbabilityModel m;
+  m.pmax = 1.0;
+  m.pinit = 1.0;
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_DOUBLE_EQ(m.from_gain(2.0), 1.0);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,47 @@
+#include "datastruct/gain_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace prop {
+namespace {
+
+GainVector make(std::initializer_list<int> values) {
+  GainVector v(static_cast<int>(values.size()));
+  int level = 1;
+  for (const int x : values) v.set(level++, x);
+  return v;
+}
+
+TEST(GainVector, LexicographicOrder) {
+  // The paper's example: (2,0,1) > (2,0,0).
+  EXPECT_GT(make({2, 0, 1}), make({2, 0, 0}));
+  EXPECT_LT(make({1, 9, 9}), make({2, 0, 0}));
+  EXPECT_EQ(make({2, 0, 1}), make({2, 0, 1}));
+}
+
+TEST(GainVector, FirstLevelDominates) {
+  EXPECT_GT(make({3, -5, -5}), make({2, 5, 5}));
+}
+
+TEST(GainVector, AddAccumulates) {
+  GainVector v(2);
+  v.add(1, 2);
+  v.add(1, -1);
+  v.add(2, 3);
+  EXPECT_EQ(v.at(1), 1);
+  EXPECT_EQ(v.at(2), 3);
+}
+
+TEST(GainVector, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(make({2, 0, 1}).to_string(), "(2,0,1)");
+  EXPECT_EQ(make({-1}).to_string(), "(-1)");
+}
+
+TEST(GainVector, DefaultIsZeroLevels) {
+  GainVector v;
+  EXPECT_EQ(v.levels(), 0);
+  EXPECT_EQ(v.to_string(), "()");
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,94 @@
+#include "fm/fm_gains.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figure1_example.h"
+#include "hypergraph/builder.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+TEST(FmGains, Figure1Values) {
+  const Figure1Example ex = make_figure1_example();
+  const Partition part(ex.graph, ex.side);
+  // Paper Fig. 1a: nodes 1, 2, 3 have gain 2; 10, 11 gain 1; 4..9 gain -1.
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_DOUBLE_EQ(fm_gain(part, ex.node(k)), 2.0) << "node " << k;
+  }
+  EXPECT_DOUBLE_EQ(fm_gain(part, ex.node(10)), 1.0);
+  EXPECT_DOUBLE_EQ(fm_gain(part, ex.node(11)), 1.0);
+  for (int k = 4; k <= 9; ++k) {
+    EXPECT_DOUBLE_EQ(fm_gain(part, ex.node(k)), -1.0) << "node " << k;
+  }
+}
+
+TEST(FmGains, AllGainsMatchPointwise) {
+  const Hypergraph g = testing::small_random_circuit();
+  Rng rng(31);
+  std::vector<std::uint8_t> sides(g.num_nodes());
+  for (auto& s : sides) s = rng.chance(0.5) ? 1 : 0;
+  const Partition part(g, sides);
+  const auto gains = fm_all_gains(part);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(gains[u], fm_gain(part, u));
+  }
+}
+
+/// Property: the incremental update rules keep every free node's gain equal
+/// to a from-scratch recomputation across a random locked move sequence.
+TEST(FmGains, IncrementalUpdatesMatchRecompute) {
+  const Hypergraph g = testing::small_random_circuit(55);
+  Rng rng(55);
+  std::vector<std::uint8_t> sides(g.num_nodes());
+  for (auto& s : sides) s = rng.chance(0.5) ? 1 : 0;
+  Partition part(g, sides);
+
+  std::vector<double> gain = fm_all_gains(part);
+  std::vector<std::uint8_t> locked(g.num_nodes(), 0);
+
+  for (int step = 0; step < 120; ++step) {
+    // Pick any free node.
+    NodeId u = static_cast<NodeId>(rng.bounded(g.num_nodes()));
+    int guard = 0;
+    while (locked[u] && guard++ < 10000) {
+      u = static_cast<NodeId>(rng.bounded(g.num_nodes()));
+    }
+    if (locked[u]) break;
+    locked[u] = 1;
+    fm_move_with_updates(
+        part, u, [&](NodeId v) { return locked[v] == 0; },
+        [&](NodeId v, double delta) { gain[v] += delta; });
+
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (!locked[v]) {
+        ASSERT_NEAR(gain[v], fm_gain(part, v), 1e-9)
+            << "node " << v << " after step " << step;
+      }
+    }
+  }
+}
+
+TEST(FmGains, SinglePinNetContributesNothing) {
+  HypergraphBuilder b(2);
+  b.add_net({0});
+  b.add_net({0, 1});
+  const Hypergraph g = std::move(b).build();
+  const std::vector<std::uint8_t> sides = {0, 1};
+  const Partition part(g, sides);
+  EXPECT_DOUBLE_EQ(fm_gain(part, 0), 1.0);  // only the 2-pin cut net counts
+}
+
+TEST(FmGains, WeightedNets) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1}, 3.0);  // cut
+  b.add_net({0, 2}, 2.0);  // internal
+  const Hypergraph g = std::move(b).build();
+  const std::vector<std::uint8_t> sides = {0, 1, 0};
+  const Partition part(g, sides);
+  EXPECT_DOUBLE_EQ(fm_gain(part, 0), 3.0 - 2.0);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,124 @@
+#include "fm/fm_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "partition/initial.h"
+#include "partition/runner.h"
+#include "partition/validate.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+class FmStructures : public ::testing::TestWithParam<FmStructure> {};
+
+INSTANTIATE_TEST_SUITE_P(BucketAndTree, FmStructures,
+                         ::testing::Values(FmStructure::kBucket,
+                                           FmStructure::kTree),
+                         [](const auto& info) {
+                           return info.param == FmStructure::kBucket ? "bucket"
+                                                                     : "tree";
+                         });
+
+TEST_P(FmStructures, FindsPlantedCutOnChain) {
+  const Hypergraph g = testing::chain_of_blocks(8, 8);  // optimal bisection cut = 1
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm({GetParam()});
+  const MultiRunResult r = run_many(fm, g, balance, 10, 42);
+  EXPECT_LE(r.best.cut_cost, 2.0);  // near-optimal over 10 starts
+}
+
+TEST_P(FmStructures, ResultIsValidAndBalanced) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm({GetParam()});
+  const PartitionResult r = fm.run(g, balance, 7);
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST_P(FmStructures, NeverWorseThanInitialPartition) {
+  const Hypergraph g = testing::small_random_circuit(3);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    Partition part(g, random_balanced_sides(g, balance, rng));
+    const double initial_cut = part.cut_cost();
+    const RefineOutcome out = fm_refine(part, balance, {GetParam()});
+    EXPECT_LE(out.cut_cost, initial_cut);
+    EXPECT_NEAR(out.cut_cost, part.recompute_cut_cost(), 1e-9);
+    EXPECT_TRUE(balance.feasible(part.side_size(0)));
+  }
+}
+
+TEST_P(FmStructures, DeterministicInSeed) {
+  const Hypergraph g = testing::small_random_circuit(5);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm({GetParam()});
+  const PartitionResult a = fm.run(g, balance, 99);
+  const PartitionResult b = fm.run(g, balance, 99);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_DOUBLE_EQ(a.cut_cost, b.cut_cost);
+}
+
+TEST(FmPartitioner, BucketAndTreeAgreeOnQuality) {
+  // Same seeds, same selection rule: bucket and tree must produce the same
+  // move sequence on unit-cost nets and hence identical cuts.
+  const Hypergraph g = testing::small_random_circuit(9);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner bucket({FmStructure::kBucket});
+  FmPartitioner tree({FmStructure::kTree});
+  double bucket_total = 0.0;
+  double tree_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    bucket_total += bucket.run(g, balance, seed).cut_cost;
+    tree_total += tree.run(g, balance, seed).cut_cost;
+  }
+  // Tie-breaking inside the containers differs, so allow small divergence.
+  EXPECT_NEAR(bucket_total, tree_total, 0.25 * bucket_total + 8.0);
+}
+
+TEST(FmPartitioner, WeightedNetsUseTreeAutomatically) {
+  HypergraphBuilder b(8);
+  for (NodeId u = 0; u < 8; ++u) b.add_net({u, static_cast<NodeId>((u + 1) % 8)}, 1.5);
+  const Hypergraph g = std::move(b).build();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm({FmStructure::kBucket});  // must fall back internally
+  const PartitionResult r = fm.run(g, balance, 1);
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_TRUE(report.ok) << report.message;
+  EXPECT_DOUBLE_EQ(r.cut_cost, 3.0);  // ring of weight-1.5 nets: 2 nets cut
+}
+
+TEST(FmPartitioner, RespectsFortyFiveWindow) {
+  const Hypergraph g = testing::small_random_circuit(17);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  FmPartitioner fm;
+  const PartitionResult r = fm.run(g, balance, 5);
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(FmPartitioner, MultiRunImprovesOverSingle) {
+  const Hypergraph g = testing::small_random_circuit(23, 300, 380, 1200);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm;
+  const MultiRunResult one = run_many(fm, g, balance, 1, 1);
+  const MultiRunResult twenty = run_many(fm, g, balance, 20, 1);
+  EXPECT_LE(twenty.best_cut(), one.best_cut());
+  EXPECT_EQ(twenty.cuts.size(), 20u);
+}
+
+TEST(FmPartitioner, PassCountIsSmall) {
+  // The paper: "the number of passes required ... is two to four".
+  const Hypergraph g = testing::small_random_circuit(29);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm;
+  const PartitionResult r = fm.run(g, balance, 11);
+  EXPECT_LE(r.passes, 12);
+  EXPECT_GE(r.passes, 1);
+}
+
+}  // namespace
+}  // namespace prop

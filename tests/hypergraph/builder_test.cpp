@@ -1,0 +1,124 @@
+#include "hypergraph/builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hypergraph/stats.h"
+
+namespace prop {
+namespace {
+
+TEST(Builder, BasicConstruction) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({1, 2, 3});
+  b.set_name("tiny");
+  const Hypergraph g = std::move(b).build();
+
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_nets(), 2u);
+  EXPECT_EQ(g.num_pins(), 5u);
+  EXPECT_EQ(g.name(), "tiny");
+  EXPECT_EQ(g.net_size(0), 2u);
+  EXPECT_EQ(g.net_size(1), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Builder, IncidenceIsConsistentBothWays) {
+  HypergraphBuilder b(5);
+  b.add_net({0, 1, 2});
+  b.add_net({2, 3});
+  b.add_net({0, 4});
+  const Hypergraph g = std::move(b).build();
+
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    for (const NodeId u : g.pins_of(n)) {
+      const auto nets = g.nets_of(u);
+      EXPECT_NE(std::find(nets.begin(), nets.end(), n), nets.end());
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const NetId n : g.nets_of(u)) {
+      const auto pins = g.pins_of(n);
+      EXPECT_NE(std::find(pins.begin(), pins.end(), u), pins.end());
+    }
+  }
+}
+
+TEST(Builder, DeduplicatesPinsWithinNet) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 0, 1, 2});
+  const Hypergraph g = std::move(b).build();
+  EXPECT_EQ(g.net_size(0), 3u);
+  EXPECT_EQ(g.num_pins(), 3u);
+}
+
+TEST(Builder, RejectsBadPin) {
+  HypergraphBuilder b(2);
+  EXPECT_THROW(b.add_net({0, 2}), std::out_of_range);
+}
+
+TEST(Builder, RejectsBadCost) {
+  HypergraphBuilder b(2);
+  EXPECT_THROW(b.add_net({0, 1}, 0.0), std::invalid_argument);
+  EXPECT_THROW(b.add_net({0, 1}, -1.0), std::invalid_argument);
+}
+
+TEST(Builder, NodeSizes) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2});
+  b.set_node_size(1, 5);
+  EXPECT_THROW(b.set_node_size(0, 0), std::invalid_argument);
+  EXPECT_THROW(b.set_node_size(9, 1), std::out_of_range);
+  const Hypergraph g = std::move(b).build();
+  EXPECT_EQ(g.node_size(1), 5);
+  EXPECT_EQ(g.total_node_size(), 7);
+  EXPECT_FALSE(g.unit_node_sizes());
+}
+
+TEST(Builder, UnitFlagsDetected) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1});
+  b.add_net({1, 2}, 2.0);
+  const Hypergraph g = std::move(b).build();
+  EXPECT_FALSE(g.unit_net_costs());
+  EXPECT_TRUE(g.unit_node_sizes());
+  EXPECT_DOUBLE_EQ(g.net_cost(1), 2.0);
+}
+
+TEST(Builder, MaxDegreeAndNetSize) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2, 3});
+  b.add_net({0, 1});
+  b.add_net({0, 2});
+  const Hypergraph g = std::move(b).build();
+  EXPECT_EQ(g.max_degree(), 3u);  // node 0
+  EXPECT_EQ(g.max_net_size(), 4u);
+}
+
+TEST(Stats, MatchesPaperDefinitions) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({0, 1, 2, 3});
+  const Hypergraph g = std::move(b).build();
+  const HypergraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_pins, 6u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 6.0 / 4.0);      // p
+  EXPECT_DOUBLE_EQ(s.avg_net_size, 3.0);          // q
+  EXPECT_DOUBLE_EQ(s.avg_neighbors, 1.5 * 2.0);   // d = p(q-1)
+  EXPECT_EQ(s.single_pin_nets, 0u);
+}
+
+TEST(Stats, CountsSinglePinNets) {
+  HypergraphBuilder b(2);
+  b.add_net({0});
+  b.add_net({0, 1});
+  const Hypergraph g = std::move(b).build();
+  EXPECT_EQ(compute_stats(g).single_pin_nets, 1u);
+}
+
+}  // namespace
+}  // namespace prop

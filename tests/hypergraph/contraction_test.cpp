@@ -1,0 +1,71 @@
+#include "hypergraph/contraction.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "partition/partition.h"
+
+namespace prop {
+namespace {
+
+Hypergraph sample() {
+  HypergraphBuilder b(6);
+  b.add_net({0, 1});     // inside cluster 0
+  b.add_net({2, 3});     // inside cluster 1
+  b.add_net({1, 2});     // cluster 0 - cluster 1
+  b.add_net({3, 4, 5});  // cluster 1 - cluster 2
+  b.add_net({0, 5});     // cluster 0 - cluster 2
+  return std::move(b).build();
+}
+
+TEST(Contraction, DropsInternalNets) {
+  const std::vector<NodeId> clusters = {0, 0, 1, 1, 2, 2};
+  const ContractionResult r = contract(sample(), clusters, 3);
+  EXPECT_EQ(r.coarse.num_nodes(), 3u);
+  // Nets 0 and 1 disappear; nets 2, 3, 4 survive as 2-pin cluster nets.
+  EXPECT_EQ(r.coarse.num_nets(), 3u);
+}
+
+TEST(Contraction, AccumulatesNodeSizes) {
+  const std::vector<NodeId> clusters = {0, 0, 1, 1, 2, 2};
+  const ContractionResult r = contract(sample(), clusters, 3);
+  for (NodeId c = 0; c < 3; ++c) EXPECT_EQ(r.coarse.node_size(c), 2);
+  EXPECT_EQ(r.coarse.total_node_size(), 6);
+}
+
+TEST(Contraction, MergesParallelNetsSummingCost) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 2});
+  b.add_net({1, 3});
+  b.add_net({1, 2});
+  const Hypergraph g = std::move(b).build();
+  // Clusters {0,1} and {2,3}: all three nets become the same coarse net.
+  const ContractionResult r = contract(g, {0, 0, 1, 1}, 2);
+  ASSERT_EQ(r.coarse.num_nets(), 1u);
+  EXPECT_DOUBLE_EQ(r.coarse.net_cost(0), 3.0);
+}
+
+TEST(Contraction, CoarseCutEqualsFlatCut) {
+  const Hypergraph g = sample();
+  const std::vector<NodeId> clusters = {0, 0, 1, 1, 2, 2};
+  const ContractionResult r = contract(g, clusters, 3);
+
+  // Coarse partition: clusters {0} vs {1, 2}.
+  const std::vector<int> coarse_side = {0, 1, 1};
+  const std::vector<int> flat_side = project_partition(r.fine_to_coarse, coarse_side);
+
+  std::vector<std::uint8_t> coarse_u8(coarse_side.begin(), coarse_side.end());
+  std::vector<std::uint8_t> flat_u8(flat_side.begin(), flat_side.end());
+  const Partition coarse_part(r.coarse, coarse_u8);
+  const Partition flat_part(g, flat_u8);
+  EXPECT_DOUBLE_EQ(coarse_part.cut_cost(), flat_part.cut_cost());
+}
+
+TEST(Contraction, RejectsBadInput) {
+  const Hypergraph g = sample();
+  EXPECT_THROW(contract(g, {0, 0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(contract(g, {0, 0, 1, 1, 2, 5}, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,108 @@
+#include "hypergraph/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/mcnc_suite.h"
+#include "hypergraph/stats.h"
+
+namespace prop {
+namespace {
+
+TEST(Generator, ExactCounts) {
+  const CircuitSpec spec{"g", 500, 600, 2000};
+  const Hypergraph g = generate_circuit(spec, 1);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  EXPECT_EQ(g.num_nets(), 600u);
+  EXPECT_EQ(g.num_pins(), 2000u);
+}
+
+TEST(Generator, Deterministic) {
+  const CircuitSpec spec{"g", 300, 350, 1200};
+  const Hypergraph a = generate_circuit(spec, 42);
+  const Hypergraph b = generate_circuit(spec, 42);
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (NetId n = 0; n < a.num_nets(); ++n) {
+    const auto pa = a.pins_of(n);
+    const auto pb = b.pins_of(n);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(Generator, SeedsDiffer) {
+  const CircuitSpec spec{"g", 300, 350, 1200};
+  const Hypergraph a = generate_circuit(spec, 1);
+  const Hypergraph b = generate_circuit(spec, 2);
+  bool any_diff = false;
+  for (NetId n = 0; n < a.num_nets() && !any_diff; ++n) {
+    const auto pa = a.pins_of(n);
+    const auto pb = b.pins_of(n);
+    if (pa.size() != pb.size()) {
+      any_diff = true;
+      break;
+    }
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      if (pa[i] != pb[i]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, NoIsolatedNodesAndMinNetSize) {
+  const Hypergraph g = generate_circuit({"g", 400, 500, 1700}, 3);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_GE(g.degree(u), 1u) << "node " << u;
+  }
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    EXPECT_GE(g.net_size(n), 2u) << "net " << n;
+  }
+}
+
+TEST(Generator, RejectsInfeasibleSpecs) {
+  EXPECT_THROW(generate_circuit({"g", 1, 1, 2}, 0), std::invalid_argument);
+  EXPECT_THROW(generate_circuit({"g", 10, 0, 0}, 0), std::invalid_argument);
+  EXPECT_THROW(generate_circuit({"g", 10, 5, 9}, 0), std::invalid_argument);
+}
+
+TEST(McncSuite, HasAllSixteenTable1Circuits) {
+  EXPECT_EQ(mcnc_specs().size(), 16u);
+  const CircuitSpec& balu = mcnc_spec("balu");
+  EXPECT_EQ(balu.num_nodes, 801u);
+  EXPECT_EQ(balu.num_nets, 735u);
+  EXPECT_EQ(balu.num_pins, 2697u);
+  const CircuitSpec& ind2 = mcnc_spec("industry2");
+  EXPECT_EQ(ind2.num_nodes, 12637u);
+  EXPECT_EQ(ind2.num_pins, 48404u);
+  EXPECT_THROW(mcnc_spec("nonexistent"), std::out_of_range);
+}
+
+TEST(McncSuite, GeneratedCircuitMatchesSpec) {
+  const Hypergraph g = make_mcnc_circuit("struct");
+  EXPECT_EQ(g.num_nodes(), 1952u);
+  EXPECT_EQ(g.num_nets(), 1920u);
+  EXPECT_EQ(g.num_pins(), 5471u);
+  EXPECT_EQ(g.name(), "struct");
+}
+
+TEST(McncSuite, AverageNetSizeNearPaper) {
+  // The paper observes an average of about 4 pins per net over the suite;
+  // our generator should land in the 2.5 - 5 band for every circuit.
+  for (const auto& spec : mcnc_specs()) {
+    const double q = static_cast<double>(spec.num_pins) /
+                     static_cast<double>(spec.num_nets);
+    EXPECT_GT(q, 2.0) << spec.name;
+    EXPECT_LT(q, 5.0) << spec.name;
+  }
+}
+
+TEST(Generator, DifferentNamesGiveDifferentSuiteCircuits) {
+  const Hypergraph t3 = make_mcnc_circuit("t3");
+  const Hypergraph t4 = make_mcnc_circuit("t4");
+  EXPECT_NE(t3.num_pins(), t4.num_pins());
+}
+
+}  // namespace
+}  // namespace prop

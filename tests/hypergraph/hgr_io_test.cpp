@@ -1,0 +1,102 @@
+#include "hypergraph/hgr_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hypergraph/builder.h"
+#include "hypergraph/generator.h"
+
+namespace prop {
+namespace {
+
+TEST(HgrIo, ReadsPlainFormat) {
+  std::istringstream in("% comment\n2 4\n1 2\n2 3 4\n");
+  const Hypergraph g = read_hgr(in, "x");
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_nets(), 2u);
+  EXPECT_EQ(g.net_size(1), 3u);
+  EXPECT_TRUE(g.unit_net_costs());
+}
+
+TEST(HgrIo, ReadsWeightedNets) {
+  std::istringstream in("2 3 1\n2.5 1 2\n1 2 3\n");
+  const Hypergraph g = read_hgr(in);
+  EXPECT_DOUBLE_EQ(g.net_cost(0), 2.5);
+  EXPECT_DOUBLE_EQ(g.net_cost(1), 1.0);
+}
+
+TEST(HgrIo, ReadsWeightedNodes) {
+  std::istringstream in("1 3 10\n1 2 3\n4\n5\n6\n");
+  const Hypergraph g = read_hgr(in);
+  EXPECT_EQ(g.node_size(0), 4);
+  EXPECT_EQ(g.node_size(2), 6);
+}
+
+TEST(HgrIo, RejectsMalformed) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_hgr(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("2 3\n1 2\n");  // truncated
+    EXPECT_THROW(read_hgr(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 2\n1 5\n");  // pin out of range
+    EXPECT_THROW(read_hgr(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("1 2 7\n1 2\n");  // bad fmt
+    EXPECT_THROW(read_hgr(in), std::runtime_error);
+  }
+}
+
+TEST(HgrIo, RoundTripPlain) {
+  HypergraphBuilder b(5);
+  b.add_net({0, 1, 2});
+  b.add_net({3, 4});
+  b.add_net({0, 4});
+  const Hypergraph g = std::move(b).build();
+
+  std::ostringstream out;
+  write_hgr(g, out);
+  std::istringstream in(out.str());
+  const Hypergraph h = read_hgr(in);
+
+  ASSERT_EQ(h.num_nodes(), g.num_nodes());
+  ASSERT_EQ(h.num_nets(), g.num_nets());
+  ASSERT_EQ(h.num_pins(), g.num_pins());
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    ASSERT_EQ(h.net_size(n), g.net_size(n));
+  }
+}
+
+TEST(HgrIo, RoundTripWeighted) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1}, 2.0);
+  b.add_net({1, 2});
+  b.set_node_size(2, 7);
+  const Hypergraph g = std::move(b).build();
+
+  std::ostringstream out;
+  write_hgr(g, out);
+  std::istringstream in(out.str());
+  const Hypergraph h = read_hgr(in);
+  EXPECT_DOUBLE_EQ(h.net_cost(0), 2.0);
+  EXPECT_EQ(h.node_size(2), 7);
+}
+
+TEST(HgrIo, RoundTripGeneratedCircuit) {
+  const Hypergraph g = generate_circuit({"rt", 120, 150, 470}, 9);
+  std::ostringstream out;
+  write_hgr(g, out);
+  std::istringstream in(out.str());
+  const Hypergraph h = read_hgr(in);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_nets(), g.num_nets());
+  EXPECT_EQ(h.num_pins(), g.num_pins());
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,50 @@
+#include "hypergraph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "hypergraph/mcnc_suite.h"
+
+namespace prop {
+namespace {
+
+TEST(Describe, ContainsNameAndCounts) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2});
+  b.set_name("widget");
+  const Hypergraph g = std::move(b).build();
+  const std::string d = describe(g);
+  EXPECT_NE(d.find("widget"), std::string::npos);
+  EXPECT_NE(d.find("n=3"), std::string::npos);
+  EXPECT_NE(d.find("e=1"), std::string::npos);
+  EXPECT_NE(d.find("m=3"), std::string::npos);
+}
+
+TEST(Describe, UnnamedGraphs) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  const Hypergraph g = std::move(b).build();
+  EXPECT_NE(describe(g).find("<unnamed>"), std::string::npos);
+}
+
+TEST(Stats, EmptyHypergraph) {
+  HypergraphBuilder b(0);
+  const Hypergraph g = std::move(b).build();
+  const HypergraphStats s = compute_stats(g);
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_net_size, 0.0);
+}
+
+TEST(Stats, SuiteAveragesNearPaperPinCounts) {
+  // Paper Sec. 3.1: "most nets in a VLSI circuit have few connections (an
+  // average of about 4 over our suite of benchmark circuits)".
+  const Hypergraph g = make_mcnc_circuit("p2");
+  const HypergraphStats s = compute_stats(g);
+  EXPECT_GT(s.avg_net_size, 2.5);
+  EXPECT_LT(s.avg_net_size, 5.0);
+  EXPECT_GT(s.avg_neighbors, 3.0);  // d = p(q-1)
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,86 @@
+// Determinism and seed-independence guarantees across the whole suite —
+// the property that makes EXPERIMENTS.md regenerable bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/window.h"
+#include "core/prop_partitioner.h"
+#include "fm/fm_partitioner.h"
+#include "hypergraph/mcnc_suite.h"
+#include "kl/kl_partitioner.h"
+#include "la/la_partitioner.h"
+#include "partition/recursive.h"
+#include "partition/runner.h"
+#include "placement/paraboli.h"
+#include "spectral/eig1.h"
+#include "spectral/melo.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(Determinism, SuiteGenerationIsReproducible) {
+  const Hypergraph a = make_mcnc_circuit("t2");
+  const Hypergraph b = make_mcnc_circuit("t2");
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (NetId n = 0; n < a.num_nets(); ++n) {
+    const auto pa = a.pins_of(n);
+    const auto pb = b.pins_of(n);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(Determinism, EveryPartitionerIsSeedDeterministic) {
+  const Hypergraph g = testing::small_random_circuit(401);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  std::vector<std::unique_ptr<Bipartitioner>> algos;
+  algos.push_back(std::make_unique<KlPartitioner>());
+  algos.push_back(std::make_unique<FmPartitioner>());
+  algos.push_back(std::make_unique<LaPartitioner>(LaConfig{2}));
+  algos.push_back(std::make_unique<PropPartitioner>());
+  algos.push_back(std::make_unique<Eig1Partitioner>());
+  algos.push_back(std::make_unique<MeloPartitioner>());
+  algos.push_back(std::make_unique<ParaboliPartitioner>());
+  algos.push_back(std::make_unique<WindowPartitioner>());
+  for (const auto& algo : algos) {
+    const PartitionResult a = algo->run(g, balance, 77);
+    const PartitionResult b = algo->run(g, balance, 77);
+    EXPECT_EQ(a.side, b.side) << algo->name();
+    EXPECT_DOUBLE_EQ(a.cut_cost, b.cut_cost) << algo->name();
+  }
+}
+
+TEST(Determinism, RunManyIsReproducible) {
+  const Hypergraph g = testing::small_random_circuit(403);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm;
+  const MultiRunResult a = run_many(fm, g, balance, 8, 123);
+  const MultiRunResult b = run_many(fm, g, balance, 8, 123);
+  EXPECT_EQ(a.cuts, b.cuts);
+  EXPECT_EQ(a.best.side, b.best.side);
+}
+
+TEST(Determinism, RunsUseDistinctSeeds) {
+  // Different runs must explore different starts: on a random circuit the
+  // per-run cuts should not all be identical.
+  const Hypergraph g = testing::small_random_circuit(405);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm;
+  const MultiRunResult r = run_many(fm, g, balance, 10, 7);
+  bool any_diff = false;
+  for (const double c : r.cuts) any_diff |= (c != r.cuts.front());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Determinism, RecursiveKWayReproducible) {
+  const Hypergraph g = testing::small_random_circuit(407);
+  PropPartitioner prop_algo;
+  const KWayResult a = recursive_bisection(prop_algo, g, 5, 31);
+  const KWayResult b = recursive_bisection(prop_algo, g, 5, 31);
+  EXPECT_EQ(a.part, b.part);
+}
+
+}  // namespace
+}  // namespace prop

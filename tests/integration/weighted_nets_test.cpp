@@ -1,0 +1,90 @@
+// Weighted-net behaviour across the suite — the paper's timing-driven
+// motivation requires partitioners to respect non-unit net costs.
+#include <gtest/gtest.h>
+
+#include "core/prop_partitioner.h"
+#include "fm/fm_partitioner.h"
+#include "hypergraph/builder.h"
+#include "hypergraph/generator.h"
+#include "partition/runner.h"
+#include "partition/validate.h"
+#include "timing/timing_graph.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+/// Ring of 12 nodes; the two nets crossing the natural halves have very
+/// different costs, so a cost-aware partitioner must cut the two cheap ones
+/// (rotating the split) rather than the expensive one.
+Hypergraph weighted_ring() {
+  HypergraphBuilder b(12);
+  for (NodeId u = 0; u < 12; ++u) {
+    const NodeId v = static_cast<NodeId>((u + 1) % 12);
+    b.add_net({u, v}, u == 0 ? 10.0 : 1.0);  // net {0,1} is precious
+  }
+  return std::move(b).build();
+}
+
+TEST(WeightedNets, PropAvoidsExpensiveNet) {
+  const Hypergraph g = weighted_ring();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  PropPartitioner prop_algo;
+  const MultiRunResult r = run_many(prop_algo, g, balance, 10, 5);
+  // Best balanced ring cuts sever two unit nets: cost 2.
+  EXPECT_DOUBLE_EQ(r.best_cut(), 2.0);
+}
+
+TEST(WeightedNets, FmTreeAvoidsExpensiveNet) {
+  const Hypergraph g = weighted_ring();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  FmPartitioner fm({FmStructure::kTree});
+  const MultiRunResult r = run_many(fm, g, balance, 10, 5);
+  EXPECT_DOUBLE_EQ(r.best_cut(), 2.0);
+}
+
+TEST(WeightedNets, PropValidOnTimingWeightedCircuit) {
+  const Hypergraph base =
+      generate_circuit({"w", 300, 380, 1250}, 99);
+  const TimingAnalysis sta = analyze_timing(base);
+  const Hypergraph g = apply_timing_weights(base, sta, 3.0);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  PropPartitioner prop_algo;
+  const PartitionResult r = prop_algo.run(g, balance, 11);
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(WeightedNets, TimingWeightsReduceCriticalCut) {
+  // Statistical-shape test mirroring examples/timing_driven: over several
+  // circuits, weighting must not increase the total critical-net cut.
+  double plain_critical = 0.0;
+  double weighted_critical = 0.0;
+  for (std::uint64_t inst = 0; inst < 3; ++inst) {
+    const Hypergraph base =
+        generate_circuit({"tw", 250, 320, 1050}, 300 + inst);
+    const TimingAnalysis sta = analyze_timing(base);
+    const Hypergraph weighted = apply_timing_weights(base, sta, 5.0);
+
+    PropPartitioner prop_algo;
+    const BalanceConstraint b1 = BalanceConstraint::forty_five(base);
+    const BalanceConstraint b2 = BalanceConstraint::forty_five(weighted);
+    const auto plain = run_many(prop_algo, base, b1, 5, inst);
+    const auto timed = run_many(prop_algo, weighted, b2, 5, inst);
+
+    const auto critical_cut = [&](const std::vector<std::uint8_t>& side) {
+      const Partition part(base, side);
+      double c = 0.0;
+      for (NetId n = 0; n < base.num_nets(); ++n) {
+        if (part.is_cut(n) && sta.net_criticality(n) >= 0.9) c += 1.0;
+      }
+      return c;
+    };
+    plain_critical += critical_cut(plain.best.side);
+    weighted_critical += critical_cut(timed.best.side);
+  }
+  EXPECT_LE(weighted_critical, plain_critical + 1.0);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,86 @@
+#include "kl/kl_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "partition/initial.h"
+#include "partition/runner.h"
+#include "partition/validate.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(Kl, FindsPlantedCutOnChain) {
+  const Hypergraph g = testing::chain_of_blocks(4, 8);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  KlPartitioner kl;
+  const MultiRunResult r = run_many(kl, g, balance, 10, 13);
+  EXPECT_LE(r.best.cut_cost, 2.0);
+}
+
+TEST(Kl, SwapsPreserveExactBalance) {
+  const Hypergraph g = testing::small_random_circuit(151);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(151);
+  Partition part(g, random_balanced_sides(g, balance, rng));
+  const std::int64_t size0 = part.side_size(0);
+  kl_refine(part, balance);
+  EXPECT_EQ(part.side_size(0), size0);  // pair swaps never change sizes
+}
+
+TEST(Kl, NeverWorseThanInitial) {
+  const Hypergraph g = testing::small_random_circuit(153);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(153);
+  Partition part(g, random_balanced_sides(g, balance, rng));
+  const double initial = part.cut_cost();
+  const RefineOutcome out = kl_refine(part, balance);
+  EXPECT_LE(out.cut_cost, initial);
+  EXPECT_NEAR(out.cut_cost, part.recompute_cut_cost(), 1e-9);
+}
+
+TEST(Kl, ResultIsValid) {
+  const Hypergraph g = testing::small_random_circuit(155);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  KlPartitioner kl;
+  const PartitionResult r = kl.run(g, balance, 3);
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(Kl, DeterministicInSeed) {
+  const Hypergraph g = testing::small_random_circuit(157);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  KlPartitioner kl;
+  EXPECT_EQ(kl.run(g, balance, 9).side, kl.run(g, balance, 9).side);
+}
+
+TEST(Kl, WiderCandidatePoolNoWorseOnAverage) {
+  const Hypergraph g = testing::small_random_circuit(159, 150, 190, 620);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  KlPartitioner narrow({/*candidate_width=*/1});
+  KlPartitioner wide({/*candidate_width=*/12});
+  double narrow_total = 0.0;
+  double wide_total = 0.0;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    narrow_total += narrow.run(g, balance, s).cut_cost;
+    wide_total += wide.run(g, balance, s).cut_cost;
+  }
+  EXPECT_LE(wide_total, narrow_total * 1.10 + 3.0);
+}
+
+TEST(Kl, RejectsWeightedNodes) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({2, 3});
+  b.set_node_size(0, 3);
+  const Hypergraph g = std::move(b).build();
+  const BalanceConstraint balance = BalanceConstraint::fraction(g, 0.3, 0.7);
+  Rng rng(1);
+  Partition part(g, random_balanced_sides(g, balance, rng));
+  EXPECT_THROW(kl_refine(part, balance), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,158 @@
+#include "la/la_gains.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figure1_example.h"
+#include "fm/fm_gains.h"
+#include "hypergraph/builder.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+TEST(LaGains, Figure1Vectors) {
+  const Figure1Example ex = make_figure1_example();
+  const Partition part(ex.graph, ex.side);
+  LaGainCalculator calc(part, 3);
+  // Paper Fig. 1a: gain(1) = (2,0,0); gain(2) = gain(3) = (2,0,1).
+  EXPECT_EQ(calc.gain(ex.node(1)).to_string(), "(2,0,0)");
+  EXPECT_EQ(calc.gain(ex.node(2)).to_string(), "(2,0,1)");
+  EXPECT_EQ(calc.gain(ex.node(3)).to_string(), "(2,0,1)");
+  EXPECT_GT(calc.gain(ex.node(2)), calc.gain(ex.node(1)));
+  // LA cannot separate nodes 2 and 3 — the paper's motivating limitation.
+  EXPECT_EQ(calc.gain(ex.node(2)), calc.gain(ex.node(3)));
+}
+
+TEST(LaGains, LevelOneEqualsFmGain) {
+  const Hypergraph g = testing::small_random_circuit(71);
+  Rng rng(71);
+  std::vector<std::uint8_t> sides(g.num_nodes());
+  for (auto& s : sides) s = rng.chance(0.5) ? 1 : 0;
+  const Partition part(g, sides);
+  LaGainCalculator calc(part, 3);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(static_cast<double>(calc.gain(u).at(1)), fm_gain(part, u))
+        << "node " << u;
+  }
+}
+
+TEST(LaGains, InternalNetPenalizesLevelOne) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});  // internal to side 0
+  b.add_net({0, 2});  // cut
+  const Hypergraph g = std::move(b).build();
+  const std::vector<std::uint8_t> sides = {0, 0, 1, 1};
+  const Partition part(g, sides);
+  LaGainCalculator calc(part, 2);
+  // Node 0: +1 (sole pin of cut net) - 1 (internal net enters cut) = 0 at
+  // level 1; level 2: internal net {0,1} has beta_A = 2 -> +1; cut net has
+  // beta_B = 1 -> -1.
+  const GainVector v = calc.gain(0);
+  EXPECT_EQ(v.at(1), 0);
+  EXPECT_EQ(v.at(2), 0);
+}
+
+TEST(LaGains, LockingRemovesContributions) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2, 3});
+  const Hypergraph g = std::move(b).build();
+  const std::vector<std::uint8_t> sides = {0, 0, 1, 1};
+  const Partition part(g, sides);
+  LaGainCalculator calc(part, 4);
+
+  // Free everywhere: node 0 sees beta_A = 2 (+1 at level 2), beta_B = 2
+  // (-1 at level 3).
+  GainVector v = calc.gain(0);
+  EXPECT_EQ(v.at(2), 1);
+  EXPECT_EQ(v.at(3), -1);
+
+  // Lock node 1 (same side): the net can no longer leave side 0 -> positive
+  // term vanishes at every level.
+  calc.lock(1);
+  v = calc.gain(0);
+  EXPECT_EQ(v.at(1), 0);
+  EXPECT_EQ(v.at(2), 0);
+  EXPECT_EQ(v.at(3), -1);
+}
+
+TEST(LaGains, LockOtherSideRemovesNegativeTerm) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2, 3});
+  const Hypergraph g = std::move(b).build();
+  const std::vector<std::uint8_t> sides = {0, 0, 1, 1};
+  const Partition part(g, sides);
+  LaGainCalculator calc(part, 4);
+  calc.lock(2);  // other side: net can never be pulled to side 0
+  const GainVector v = calc.gain(0);
+  EXPECT_EQ(v.at(2), 1);   // positive term intact
+  EXPECT_EQ(v.at(3), 0);   // negative term gone
+}
+
+TEST(LaGains, MoveLockedTracksCounts) {
+  const Hypergraph g = testing::small_random_circuit(77);
+  Rng rng(77);
+  std::vector<std::uint8_t> sides(g.num_nodes());
+  for (auto& s : sides) s = rng.chance(0.5) ? 1 : 0;
+  Partition part(g, sides);
+  LaGainCalculator calc(part, 2);
+
+  // Lock+move a few nodes, then verify level-1 gains still equal FM gains
+  // computed on a fresh calculator with identical locks.
+  std::vector<NodeId> movers;
+  for (int i = 0; i < 10; ++i) {
+    movers.push_back(static_cast<NodeId>(rng.bounded(g.num_nodes() / 2) * 2));
+  }
+  for (const NodeId u : movers) {
+    if (!calc.is_free(u)) continue;
+    const int from = part.side(u);
+    calc.lock(u);
+    part.move(u);
+    calc.move_locked(u, from);
+  }
+  LaGainCalculator fresh(part, 2);
+  for (const NodeId u : movers) {
+    if (fresh.is_free(u)) fresh.lock(u);
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (calc.is_free(u)) {
+      EXPECT_EQ(calc.gain(u), fresh.gain(u)) << "node " << u;
+    }
+  }
+}
+
+/// The LA pass maintains vectors by per-net contribution deltas; the
+/// contributions must sum back to the full gain under arbitrary lock sets.
+TEST(LaGains, NetContributionsSumToGain) {
+  const Hypergraph g = testing::small_random_circuit(81);
+  Rng rng(81);
+  std::vector<std::uint8_t> sides(g.num_nodes());
+  for (auto& s : sides) s = rng.chance(0.5) ? 1 : 0;
+  Partition part(g, sides);
+  LaGainCalculator calc(part, 3);
+  for (int i = 0; i < 12; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.bounded(g.num_nodes()));
+    if (!calc.is_free(u)) continue;
+    const int from = part.side(u);
+    calc.lock(u);
+    part.move(u);
+    calc.move_locked(u, from);
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!calc.is_free(v)) continue;
+    GainVector sum(3);
+    for (const NetId n : g.nets_of(v)) sum += calc.net_contribution(n, v);
+    EXPECT_EQ(sum, calc.gain(v)) << "node " << v;
+  }
+}
+
+TEST(LaGains, RejectsBadDepth) {
+  const Hypergraph g = testing::small_random_circuit(79);
+  std::vector<std::uint8_t> sides(g.num_nodes(), 0);
+  const Partition part(g, sides);
+  EXPECT_THROW(LaGainCalculator(part, 0), std::invalid_argument);
+  EXPECT_THROW(LaGainCalculator(part, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,107 @@
+#include "linalg/cg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+TEST(Cg, SolvesSmallSpdSystem) {
+  // A = [[4, 1], [1, 3]], b = [1, 2] -> x = [1/11, 7/11].
+  const CsrMatrix a = CsrMatrix::from_triplets(
+      2, {{0, 0, 4.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 3.0}});
+  const std::vector<double> b = {1.0, 2.0};
+  std::vector<double> x(2, 0.0);
+  const CgResult r = conjugate_gradient(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-7);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-7);
+}
+
+TEST(Cg, SolvesRandomDiagonallyDominantSystem) {
+  constexpr std::uint32_t n = 100;
+  Rng rng(5);
+  std::vector<Triplet> t;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.push_back({i, i, 10.0 + rng.uniform()});
+    const std::uint32_t j = static_cast<std::uint32_t>(rng.bounded(n));
+    if (j != i) {
+      const double v = rng.uniform();
+      t.push_back({i, j, v});
+      t.push_back({j, i, v});
+    }
+  }
+  const CsrMatrix a = CsrMatrix::from_triplets(n, std::move(t));
+  std::vector<double> x_true(n);
+  for (auto& v : x_true) v = rng.uniform() - 0.5;
+  std::vector<double> b(n);
+  a.multiply(x_true, b);
+
+  std::vector<double> x(n, 0.0);
+  const CgResult r = conjugate_gradient(a, b, x);
+  EXPECT_TRUE(r.converged);
+  for (std::uint32_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-5);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const CsrMatrix a = CsrMatrix::from_triplets(2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  const std::vector<double> b = {0.0, 0.0};
+  std::vector<double> x = {5.0, -3.0};
+  const CgResult r = conjugate_gradient(a, b, x);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+  EXPECT_DOUBLE_EQ(x[1], 0.0);
+}
+
+TEST(Cg, WarmStartConvergesFaster) {
+  const CsrMatrix a = CsrMatrix::from_triplets(
+      2, {{0, 0, 4.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 3.0}});
+  const std::vector<double> b = {1.0, 2.0};
+  std::vector<double> cold(2, 0.0);
+  const CgResult cold_r = conjugate_gradient(a, b, cold);
+  std::vector<double> warm = cold;  // exact solution as the start
+  const CgResult warm_r = conjugate_gradient(a, b, warm);
+  EXPECT_LE(warm_r.iterations, cold_r.iterations);
+}
+
+TEST(Cg, DimensionMismatchThrows) {
+  const CsrMatrix a = CsrMatrix::from_triplets(2, {{0, 0, 1.0}});
+  std::vector<double> x(2, 0.0);
+  const std::vector<double> b_bad = {1.0};
+  EXPECT_THROW(conjugate_gradient(a, b_bad, x), std::invalid_argument);
+}
+
+TEST(VectorOps, Basics) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(norm2(a), std::sqrt(14.0));
+  std::vector<double> y = {1.0, 1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[1], 5.0);
+  scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 2.5);
+}
+
+TEST(VectorOps, ProjectOutMakesOrthogonal) {
+  std::vector<double> v = {3.0, 4.0, 5.0};
+  const std::vector<double> u = {1.0, 1.0, 1.0};
+  project_out(v, u);
+  EXPECT_NEAR(dot(v, u), 0.0, 1e-12);
+}
+
+TEST(VectorOps, NormalizeUnitLength) {
+  std::vector<double> v = {3.0, 4.0};
+  const double n = normalize(v);
+  EXPECT_DOUBLE_EQ(n, 5.0);
+  EXPECT_NEAR(norm2(v), 1.0, 1e-12);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(normalize(zero), 0.0);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,67 @@
+#include "linalg/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace prop {
+namespace {
+
+TEST(CsrMatrix, BuildAndMultiply) {
+  // [[2, 1], [1, 3]]
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      2, {{0, 0, 2.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 3.0}});
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.nnz(), 4u);
+  const std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(CsrMatrix, SumsDuplicates) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(2, {{0, 1, 1.0}, {0, 1, 2.5}, {1, 0, 3.5}});
+  EXPECT_EQ(m.nnz(), 2u);
+  const std::vector<double> x = {1.0, 1.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  EXPECT_DOUBLE_EQ(y[1], 3.5);
+}
+
+TEST(CsrMatrix, Diagonal) {
+  const CsrMatrix m = CsrMatrix::from_triplets(
+      3, {{0, 0, 5.0}, {1, 2, 1.0}, {2, 2, -2.0}, {2, 2, 1.0}});
+  const auto d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -1.0);
+}
+
+TEST(CsrMatrix, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::from_triplets(3, {});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.nnz(), 0u);
+  const std::vector<double> x = {1, 2, 3};
+  std::vector<double> y(3, 99.0);
+  m.multiply(x, y);
+  for (const double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(CsrMatrix, RejectsOutOfRange) {
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{0, 2, 1.0}}), std::out_of_range);
+  EXPECT_THROW(CsrMatrix::from_triplets(2, {{5, 0, 1.0}}), std::out_of_range);
+}
+
+TEST(CsrMatrix, RowAccess) {
+  const CsrMatrix m =
+      CsrMatrix::from_triplets(3, {{1, 0, 4.0}, {1, 2, 5.0}});
+  EXPECT_EQ(m.row_cols(0).size(), 0u);
+  ASSERT_EQ(m.row_cols(1).size(), 2u);
+  EXPECT_EQ(m.row_cols(1)[0], 0u);
+  EXPECT_EQ(m.row_cols(1)[1], 2u);
+  EXPECT_DOUBLE_EQ(m.row_values(1)[1], 5.0);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,135 @@
+#include "linalg/lanczos.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/vector_ops.h"
+
+namespace prop {
+namespace {
+
+/// Path-graph Laplacian P_n: eigenvalues 2 - 2 cos(pi k / n), k = 0..n-1.
+CsrMatrix path_laplacian(std::uint32_t n) {
+  std::vector<Triplet> t;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    t.push_back({i, i, 1.0});
+    t.push_back({i + 1, i + 1, 1.0});
+    t.push_back({i, i + 1, -1.0});
+    t.push_back({i + 1, i, -1.0});
+  }
+  return CsrMatrix::from_triplets(n, std::move(t));
+}
+
+TEST(TridiagonalEigen, TwoByTwo) {
+  // [[2, 1], [1, 2]] -> eigenvalues 1, 3.
+  std::vector<double> d = {2.0, 2.0};
+  std::vector<double> e = {1.0, 0.0};
+  std::vector<double> z;
+  ASSERT_TRUE(tridiagonal_eigen(d, e, z));
+  std::sort(d.begin(), d.end());
+  EXPECT_NEAR(d[0], 1.0, 1e-12);
+  EXPECT_NEAR(d[1], 3.0, 1e-12);
+}
+
+TEST(TridiagonalEigen, EigenvectorsSatisfyDefinition) {
+  // T = tridiag(offdiag 1, diag 2): classic second-difference matrix.
+  constexpr int n = 8;
+  std::vector<double> d(n, 2.0);
+  std::vector<double> e(n, 1.0);
+  e[n - 1] = 0.0;
+  std::vector<double> orig_d = d;
+  std::vector<double> z;
+  ASSERT_TRUE(tridiagonal_eigen(d, e, z));
+  // For each eigenpair check T v = lambda v.
+  for (int col = 0; col < n; ++col) {
+    for (int row = 0; row < n; ++row) {
+      double tv = orig_d[static_cast<std::size_t>(row)] *
+                  z[static_cast<std::size_t>(row) * n + col];
+      if (row > 0) tv += z[static_cast<std::size_t>(row - 1) * n + col];
+      if (row + 1 < n) tv += z[static_cast<std::size_t>(row + 1) * n + col];
+      EXPECT_NEAR(tv, d[static_cast<std::size_t>(col)] *
+                          z[static_cast<std::size_t>(row) * n + col],
+                  1e-9);
+    }
+  }
+}
+
+TEST(Lanczos, PathGraphFiedlerValue) {
+  constexpr std::uint32_t n = 40;
+  const CsrMatrix L = path_laplacian(n);
+  Rng rng(1);
+  const EigenResult r = smallest_eigenpairs(L, 2, rng);
+  const double expected_fiedler =
+      2.0 - 2.0 * std::cos(std::numbers::pi / static_cast<double>(n));
+  EXPECT_NEAR(r.values[0], expected_fiedler, 1e-6);
+}
+
+TEST(Lanczos, FiedlerVectorIsMonotoneOnPath) {
+  // The path's Fiedler vector is cos(pi (i + 1/2) / n): strictly monotone.
+  constexpr std::uint32_t n = 30;
+  const CsrMatrix L = path_laplacian(n);
+  Rng rng(2);
+  const EigenResult r = smallest_eigenpairs(L, 1, rng);
+  const auto& v = r.vectors[0];
+  const double dir = v[1] - v[0];
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    EXPECT_GT((v[i + 1] - v[i]) * dir, 0.0) << "position " << i;
+  }
+}
+
+TEST(Lanczos, EigenvectorResidualSmall) {
+  constexpr std::uint32_t n = 60;
+  const CsrMatrix L = path_laplacian(n);
+  Rng rng(3);
+  const EigenResult r = smallest_eigenpairs(L, 3, rng);
+  std::vector<double> lv(n);
+  for (int j = 0; j < 3; ++j) {
+    L.multiply(r.vectors[static_cast<std::size_t>(j)], lv);
+    axpy(-r.values[static_cast<std::size_t>(j)],
+         r.vectors[static_cast<std::size_t>(j)], lv);
+    EXPECT_LT(norm2(lv), 1e-5) << "pair " << j;
+  }
+}
+
+TEST(Lanczos, VectorsOrthogonalToOnesAndEachOther) {
+  constexpr std::uint32_t n = 50;
+  const CsrMatrix L = path_laplacian(n);
+  Rng rng(4);
+  const EigenResult r = smallest_eigenpairs(L, 3, rng);
+  const std::vector<double> ones(n, 1.0);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(dot(r.vectors[static_cast<std::size_t>(j)], ones), 0.0, 1e-6);
+  }
+  EXPECT_NEAR(dot(r.vectors[0], r.vectors[1]), 0.0, 1e-6);
+  EXPECT_NEAR(dot(r.vectors[1], r.vectors[2]), 0.0, 1e-6);
+}
+
+TEST(Lanczos, DisconnectedGraphSecondZeroEigenvalue) {
+  // Two disjoint edges: Laplacian eigenvalues {0, 0, 2, 2}; after deflating
+  // the global constant, the smallest remaining eigenvalue is 0 (the
+  // component indicator difference).
+  std::vector<Triplet> t = {{0, 0, 1.0}, {1, 1, 1.0}, {0, 1, -1.0}, {1, 0, -1.0},
+                            {2, 2, 1.0}, {3, 3, 1.0}, {2, 3, -1.0}, {3, 2, -1.0}};
+  const CsrMatrix L = CsrMatrix::from_triplets(4, std::move(t));
+  Rng rng(5);
+  const EigenResult r = smallest_eigenpairs(L, 2, rng);
+  EXPECT_NEAR(r.values[0], 0.0, 1e-8);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-6);
+}
+
+TEST(Lanczos, DeterministicInRngSeed) {
+  const CsrMatrix L = path_laplacian(25);
+  Rng r1(9);
+  Rng r2(9);
+  const EigenResult a = smallest_eigenpairs(L, 1, r1);
+  const EigenResult b = smallest_eigenpairs(L, 1, r2);
+  EXPECT_DOUBLE_EQ(a.values[0], b.values[0]);
+  for (std::uint32_t i = 0; i < 25; ++i) {
+    EXPECT_DOUBLE_EQ(a.vectors[0][i], b.vectors[0][i]);
+  }
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,72 @@
+#include "partition/balance.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+
+namespace prop {
+namespace {
+
+Hypergraph unit_nodes(NodeId n) {
+  HypergraphBuilder b(n);
+  for (NodeId u = 0; u + 1 < n; ++u) b.add_net({u, u + 1});
+  return std::move(b).build();
+}
+
+TEST(Balance, FiftyFiftyWidensByMaxNodeSize) {
+  const Hypergraph g = unit_nodes(100);
+  const BalanceConstraint c = BalanceConstraint::fifty_fifty(g);
+  EXPECT_EQ(c.lo(), 49);
+  EXPECT_EQ(c.hi(), 51);
+  EXPECT_TRUE(c.feasible(50));
+  EXPECT_TRUE(c.feasible(49));
+  EXPECT_FALSE(c.feasible(48));
+}
+
+TEST(Balance, FortyFiveFiftyFiveWindow) {
+  const Hypergraph g = unit_nodes(100);
+  const BalanceConstraint c = BalanceConstraint::forty_five(g);
+  EXPECT_EQ(c.lo(), 45);
+  EXPECT_EQ(c.hi(), 55);
+  EXPECT_TRUE(c.feasible(45));
+  EXPECT_TRUE(c.feasible(55));
+  EXPECT_FALSE(c.feasible(44));
+  EXPECT_FALSE(c.feasible(56));
+}
+
+TEST(Balance, MoveFeasibility) {
+  const Hypergraph g = unit_nodes(100);
+  const BalanceConstraint c = BalanceConstraint::forty_five(g);
+  // side0 = 45: moving a unit node off side 0 leaves 44 -> infeasible.
+  EXPECT_FALSE(c.move_feasible(45, 0, 1));
+  EXPECT_TRUE(c.move_feasible(45, 1, 1));
+  EXPECT_TRUE(c.move_feasible(50, 0, 1));
+  EXPECT_FALSE(c.move_feasible(55, 1, 1));
+}
+
+TEST(Balance, OddNodeCount) {
+  const Hypergraph g = unit_nodes(7);
+  const BalanceConstraint c = BalanceConstraint::fifty_fifty(g);
+  EXPECT_TRUE(c.feasible(3));
+  EXPECT_TRUE(c.feasible(4));
+}
+
+TEST(Balance, WeightedNodesWidenWindow) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({2, 3});
+  b.set_node_size(0, 10);
+  const Hypergraph g = std::move(b).build();  // total 13
+  const BalanceConstraint c = BalanceConstraint::fifty_fifty(g);
+  EXPECT_GE(c.hi() - c.lo(), 10);
+}
+
+TEST(Balance, RejectsBadFractions) {
+  const Hypergraph g = unit_nodes(10);
+  EXPECT_THROW(BalanceConstraint::fraction(g, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(BalanceConstraint::fraction(g, 0.6, 0.4), std::invalid_argument);
+  EXPECT_THROW(BalanceConstraint::fraction(g, 0.5, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,72 @@
+#include "partition/initial.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(Initial, ProducesBalancedSplit) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sides = random_balanced_sides(g, balance, rng);
+    std::int64_t size0 = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (sides[u] == 0) size0 += g.node_size(u);
+    }
+    EXPECT_TRUE(balance.feasible(size0)) << "size0=" << size0;
+  }
+}
+
+TEST(Initial, DifferentSeedsDifferentSplits) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng r1(1);
+  Rng r2(2);
+  const auto a = random_balanced_sides(g, balance, r1);
+  const auto b = random_balanced_sides(g, balance, r2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Initial, WeightedNodesRespectWindow) {
+  HypergraphBuilder b(10);
+  for (NodeId u = 0; u + 1 < 10; ++u) b.add_net({u, u + 1});
+  for (NodeId u = 0; u < 10; ++u) b.set_node_size(u, 1 + (u % 4));
+  const Hypergraph g = std::move(b).build();
+  const BalanceConstraint balance = BalanceConstraint::fraction(g, 0.4, 0.6);
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sides = random_balanced_sides(g, balance, rng);
+    std::int64_t size0 = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (sides[u] == 0) size0 += g.node_size(u);
+    }
+    EXPECT_TRUE(balance.feasible(size0)) << "size0=" << size0;
+  }
+}
+
+TEST(RepairBalance, FixesLopsidedPartition) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Partition part(g);  // everything on side 0
+  repair_balance(part, balance);
+  EXPECT_TRUE(balance.feasible(part.side_size(0)));
+  EXPECT_NEAR(part.cut_cost(), part.recompute_cut_cost(), 1e-9);
+}
+
+TEST(RepairBalance, NoOpWhenAlreadyFeasible) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(4);
+  Partition part(g, random_balanced_sides(g, balance, rng));
+  const double cut = part.cut_cost();
+  repair_balance(part, balance);
+  EXPECT_DOUBLE_EQ(part.cut_cost(), cut);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,76 @@
+#include "partition/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+Hypergraph square() {
+  // 4-cycle: nets {0,1},{1,2},{2,3},{3,0}.
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 3});
+  b.add_net({3, 0});
+  return std::move(b).build();
+}
+
+TEST(Metrics, BalancedSquareSplit) {
+  const Hypergraph g = square();
+  const std::vector<std::uint8_t> sides = {0, 0, 1, 1};
+  const Partition part(g, sides);
+  const PartitionMetrics m = compute_metrics(part);
+  EXPECT_DOUBLE_EQ(m.cut_cost, 2.0);
+  EXPECT_EQ(m.cut_nets, 2u);
+  EXPECT_EQ(m.size0, 2);
+  EXPECT_EQ(m.size1, 2);
+  EXPECT_DOUBLE_EQ(m.balance_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(m.ratio_cut, 2.0 / 4.0);
+  EXPECT_DOUBLE_EQ(m.scaled_cost, 2.0 / (4.0 * 4.0));
+  // Two uncut 2-pin nets contribute 1 each; cut nets contribute 0.
+  EXPECT_DOUBLE_EQ(m.absorption, 2.0);
+}
+
+TEST(Metrics, LopsidedSplit) {
+  const Hypergraph g = square();
+  const std::vector<std::uint8_t> sides = {0, 1, 1, 1};
+  const Partition part(g, sides);
+  const PartitionMetrics m = compute_metrics(part);
+  EXPECT_DOUBLE_EQ(m.cut_cost, 2.0);
+  EXPECT_DOUBLE_EQ(m.balance_ratio, 0.25);
+  EXPECT_DOUBLE_EQ(m.ratio_cut, 2.0 / 3.0);
+}
+
+TEST(Metrics, RatioCutPrefersBalancedEqualCuts) {
+  const Hypergraph g = square();
+  const std::vector<std::uint8_t> balanced = {0, 0, 1, 1};
+  const std::vector<std::uint8_t> lopsided = {0, 1, 1, 1};
+  EXPECT_LT(ratio_cut(g, balanced), ratio_cut(g, lopsided));
+}
+
+TEST(Metrics, AbsorptionOfLargeNet) {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2, 3});
+  const Hypergraph g = std::move(b).build();
+  const std::vector<std::uint8_t> sides = {0, 0, 0, 1};
+  const Partition part(g, sides);
+  // Side 0 holds 3 of 4 pins -> (3-1)/3; side 1 holds 1 -> 0.
+  EXPECT_DOUBLE_EQ(compute_metrics(part).absorption, 2.0 / 3.0);
+}
+
+TEST(Metrics, AgreesWithPartitionState) {
+  const Hypergraph g = testing::small_random_circuit(161);
+  std::vector<std::uint8_t> sides(g.num_nodes(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); u += 3) sides[u] = 1;
+  const Partition part(g, sides);
+  const PartitionMetrics m = compute_metrics(part);
+  EXPECT_DOUBLE_EQ(m.cut_cost, part.cut_cost());
+  EXPECT_EQ(m.cut_nets, part.cut_nets());
+  EXPECT_EQ(m.size0 + m.size1, g.total_node_size());
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,124 @@
+#include "partition/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+Hypergraph triangle() {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({0, 2});
+  return std::move(b).build();
+}
+
+TEST(Partition, AllZeroHasNoCut) {
+  const Hypergraph g = triangle();
+  Partition p(g);
+  EXPECT_DOUBLE_EQ(p.cut_cost(), 0.0);
+  EXPECT_EQ(p.cut_nets(), 0u);
+  EXPECT_EQ(p.side_size(0), 3);
+  EXPECT_EQ(p.side_size(1), 0);
+}
+
+TEST(Partition, ExplicitAssignment) {
+  const Hypergraph g = triangle();
+  const std::vector<std::uint8_t> sides = {0, 1, 0};
+  Partition p(g, sides);
+  EXPECT_DOUBLE_EQ(p.cut_cost(), 2.0);  // nets {0,1} and {1,2}
+  EXPECT_EQ(p.pins_on_side(0, 0), 1u);
+  EXPECT_EQ(p.pins_on_side(0, 1), 1u);
+  EXPECT_TRUE(p.is_cut(0));
+  EXPECT_FALSE(p.is_cut(2));
+}
+
+TEST(Partition, MoveUpdatesEverything) {
+  const Hypergraph g = triangle();
+  const std::vector<std::uint8_t> sides = {0, 1, 0};
+  Partition p(g, sides);
+  p.move(1);  // now all on side 0
+  EXPECT_DOUBLE_EQ(p.cut_cost(), 0.0);
+  EXPECT_EQ(p.side(1), 0);
+  EXPECT_EQ(p.side_size(0), 3);
+  p.move(2);
+  EXPECT_DOUBLE_EQ(p.cut_cost(), 2.0);
+}
+
+TEST(Partition, ImmediateGainMatchesDefinition) {
+  // Node 1 in {0:{0,2}, 1:{1}}: nets {0,1} and {1,2} both have node 1 as
+  // the only side-1 pin -> gain +2; no internal nets on side 1.
+  const Hypergraph g = triangle();
+  const std::vector<std::uint8_t> sides = {0, 1, 0};
+  const Partition p(g, sides);
+  EXPECT_DOUBLE_EQ(p.immediate_gain(1), 2.0);
+  // Node 0: net {0,2} internal (-1), net {0,1} cut with node 0 sole on its
+  // side (+1) -> 0.
+  EXPECT_DOUBLE_EQ(p.immediate_gain(0), 0.0);
+}
+
+TEST(Partition, GainEqualsCutDeltaProperty) {
+  const Hypergraph g = testing::small_random_circuit();
+  Rng rng(99);
+  std::vector<std::uint8_t> sides(g.num_nodes());
+  for (auto& s : sides) s = rng.chance(0.5) ? 1 : 0;
+  Partition p(g, sides);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    const NodeId u = static_cast<NodeId>(rng.bounded(g.num_nodes()));
+    const double before = p.cut_cost();
+    const double gain = p.immediate_gain(u);
+    p.move(u);
+    EXPECT_NEAR(p.cut_cost(), before - gain, 1e-9);
+  }
+}
+
+TEST(Partition, IncrementalCutMatchesRecompute) {
+  const Hypergraph g = testing::small_random_circuit(13);
+  Rng rng(13);
+  std::vector<std::uint8_t> sides(g.num_nodes());
+  for (auto& s : sides) s = rng.chance(0.5) ? 1 : 0;
+  Partition p(g, sides);
+  for (int trial = 0; trial < 300; ++trial) {
+    p.move(static_cast<NodeId>(rng.bounded(g.num_nodes())));
+  }
+  EXPECT_NEAR(p.cut_cost(), p.recompute_cut_cost(), 1e-9);
+}
+
+TEST(Partition, MoveIsInvolution) {
+  const Hypergraph g = testing::small_random_circuit(21);
+  std::vector<std::uint8_t> sides(g.num_nodes(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); u += 2) sides[u] = 1;
+  Partition p(g, sides);
+  const double cut = p.cut_cost();
+  p.move(5);
+  p.move(5);
+  EXPECT_DOUBLE_EQ(p.cut_cost(), cut);
+  EXPECT_EQ(p.side(5), sides[5]);
+}
+
+TEST(Partition, WeightedNetCosts) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1}, 3.5);
+  const Hypergraph g = std::move(b).build();
+  const std::vector<std::uint8_t> sides = {0, 1};
+  const Partition p(g, sides);
+  EXPECT_DOUBLE_EQ(p.cut_cost(), 3.5);
+  EXPECT_EQ(p.cut_nets(), 1u);
+  EXPECT_DOUBLE_EQ(p.immediate_gain(0), 3.5);
+}
+
+TEST(Partition, RejectsBadSides) {
+  const Hypergraph g = triangle();
+  const std::vector<std::uint8_t> wrong_len = {0, 1};
+  EXPECT_THROW(Partition(g, wrong_len), std::invalid_argument);
+  const std::vector<std::uint8_t> bad_value = {0, 1, 2};
+  EXPECT_THROW(Partition(g, bad_value), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prop

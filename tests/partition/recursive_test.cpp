@@ -1,0 +1,90 @@
+#include "partition/recursive.h"
+
+#include <gtest/gtest.h>
+
+#include "fm/fm_partitioner.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(InduceSubgraph, KeepsInternalStructure) {
+  const Hypergraph g = testing::chain_of_blocks(4, 5);  // 20 nodes
+  std::vector<NodeId> first_half;
+  for (NodeId u = 0; u < 10; ++u) first_half.push_back(u);
+  const Hypergraph sub = induce_subgraph(g, first_half);
+  EXPECT_EQ(sub.num_nodes(), 10u);
+  // Each 5-block contributes 5 ring nets + 1 spanning net; one bridge net
+  // connects the two blocks inside the subset.
+  EXPECT_EQ(sub.num_nets(), 13u);
+  for (NetId n = 0; n < sub.num_nets(); ++n) EXPECT_GE(sub.net_size(n), 2u);
+}
+
+TEST(InduceSubgraph, DropsDanglingNets) {
+  const Hypergraph g = testing::chain_of_blocks(2, 4);
+  // Take a single node: every net loses its other pins.
+  const Hypergraph sub = induce_subgraph(g, {0});
+  EXPECT_EQ(sub.num_nodes(), 1u);
+  EXPECT_EQ(sub.num_nets(), 0u);
+}
+
+TEST(KWayCost, CountsSpanningNetsOnce) {
+  const Hypergraph g = testing::chain_of_blocks(3, 4);  // 12 nodes
+  std::vector<NodeId> part(12, 0);
+  for (NodeId u = 4; u < 8; ++u) part[u] = 1;
+  for (NodeId u = 8; u < 12; ++u) part[u] = 2;
+  // Exactly the two bridge nets span parts.
+  EXPECT_DOUBLE_EQ(kway_cut_cost(g, part), 2.0);
+}
+
+TEST(RecursiveBisection, KEqualsOneIsTrivial) {
+  const Hypergraph g = testing::chain_of_blocks(2, 4);
+  FmPartitioner fm;
+  const KWayResult r = recursive_bisection(fm, g, 1, 7);
+  EXPECT_DOUBLE_EQ(r.cut_cost, 0.0);
+  for (const NodeId p : r.part) EXPECT_EQ(p, 0u);
+}
+
+TEST(RecursiveBisection, FourWayBalancedParts) {
+  const Hypergraph g = testing::chain_of_blocks(8, 8);  // 64 nodes
+  FmPartitioner fm;
+  const KWayResult r = recursive_bisection(fm, g, 4, 11);
+  EXPECT_EQ(r.k, 4u);
+  std::vector<int> count(4, 0);
+  for (const NodeId p : r.part) {
+    ASSERT_LT(p, 4u);
+    ++count[p];
+  }
+  for (int c : count) {
+    EXPECT_GE(c, 10);
+    EXPECT_LE(c, 22);
+  }
+  EXPECT_DOUBLE_EQ(r.cut_cost, kway_cut_cost(g, r.part));
+}
+
+TEST(RecursiveBisection, ThreeWayUnevenTargets) {
+  const Hypergraph g = testing::chain_of_blocks(6, 6);  // 36 nodes
+  FmPartitioner fm;
+  const KWayResult r = recursive_bisection(fm, g, 3, 5);
+  std::vector<int> count(3, 0);
+  for (const NodeId p : r.part) ++count[p];
+  for (int c : count) EXPECT_GT(c, 0);
+}
+
+TEST(RecursiveBisection, DeterministicInSeed) {
+  const Hypergraph g = testing::chain_of_blocks(4, 8);
+  FmPartitioner fm;
+  const KWayResult a = recursive_bisection(fm, g, 4, 123);
+  const KWayResult b = recursive_bisection(fm, g, 4, 123);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(RecursiveBisection, RejectsBadK) {
+  const Hypergraph g = testing::chain_of_blocks(2, 4);
+  FmPartitioner fm;
+  EXPECT_THROW(recursive_bisection(fm, g, 0, 1), std::invalid_argument);
+  EXPECT_THROW(recursive_bisection(fm, g, 100, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,69 @@
+#include "partition/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/partition.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+PartitionResult balanced_result(const Hypergraph& g) {
+  PartitionResult r;
+  r.side.assign(g.num_nodes(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); u += 2) r.side[u] = 1;
+  Partition p(g, r.side);
+  r.cut_cost = p.cut_cost();
+  return r;
+}
+
+TEST(Validate, AcceptsCorrectResult) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  const PartitionResult r = balanced_result(g);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+TEST(Validate, RejectsWrongLength) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  PartitionResult r = balanced_result(g);
+  r.side.pop_back();
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("length"), std::string::npos);
+}
+
+TEST(Validate, RejectsBadSideValue) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  PartitionResult r = balanced_result(g);
+  r.side[3] = 2;
+  EXPECT_FALSE(validate_result(g, balance, r).ok);
+}
+
+TEST(Validate, RejectsImbalance) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  PartitionResult r;
+  r.side.assign(g.num_nodes(), 0);  // everything on one side
+  Partition p(g, r.side);
+  r.cut_cost = p.cut_cost();
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("balance"), std::string::npos);
+}
+
+TEST(Validate, RejectsWrongCutClaim) {
+  const Hypergraph g = testing::small_random_circuit();
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  PartitionResult r = balanced_result(g);
+  r.cut_cost += 1.0;
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.message.find("cut mismatch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,50 @@
+#include "placement/paraboli.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/validate.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(Paraboli, SeparatesTwoBlocks) {
+  const Hypergraph g = testing::chain_of_blocks(2, 10);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  ParaboliPartitioner paraboli;
+  const PartitionResult r = paraboli.run(g, balance, 1);
+  EXPECT_DOUBLE_EQ(r.cut_cost, 1.0);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+TEST(Paraboli, ValidOnRandomCircuit) {
+  const Hypergraph g = testing::small_random_circuit(113);
+  for (const auto& balance : {BalanceConstraint::fifty_fifty(g),
+                              BalanceConstraint::forty_five(g)}) {
+    ParaboliPartitioner paraboli;
+    const PartitionResult r = paraboli.run(g, balance, 2);
+    const ValidationReport report = validate_result(g, balance, r);
+    EXPECT_TRUE(report.ok) << report.message;
+  }
+}
+
+TEST(Paraboli, DeterministicInSeed) {
+  const Hypergraph g = testing::small_random_circuit(115);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  ParaboliPartitioner paraboli;
+  EXPECT_EQ(paraboli.run(g, balance, 6).side, paraboli.run(g, balance, 6).side);
+}
+
+TEST(Paraboli, MoreIterationsStillValid) {
+  const Hypergraph g = testing::chain_of_blocks(4, 8);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  ParaboliConfig config;
+  config.iterations = 6;
+  ParaboliPartitioner paraboli(config);
+  const PartitionResult r = paraboli.run(g, balance, 3);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+  EXPECT_LE(r.cut_cost, 2.0);
+}
+
+}  // namespace
+}  // namespace prop

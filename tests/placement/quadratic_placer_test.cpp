@@ -1,0 +1,63 @@
+#include "placement/quadratic_placer.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(QuadraticPlacer, ChainSpreadsBetweenAnchors) {
+  // Path 0-1-2-3-4 with ends anchored at 0 and 1: the minimizer is the
+  // linear ramp 0, 1/4, 1/2, 3/4, 1 (for strong anchors, approximately).
+  HypergraphBuilder b(5);
+  for (NodeId u = 0; u + 1 < 5; ++u) b.add_net({u, u + 1});
+  const Hypergraph g = std::move(b).build();
+  QuadraticPlacer placer(g);
+  std::vector<double> x(5, 0.5);
+  const CgResult r = placer.solve(
+      {{0, 0.0, 1000.0}, {4, 1.0, 1000.0}}, x);
+  EXPECT_TRUE(r.converged);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], i / 4.0, 1e-2) << i;
+  }
+}
+
+TEST(QuadraticPlacer, MonotoneAlongChain) {
+  HypergraphBuilder b(10);
+  for (NodeId u = 0; u + 1 < 10; ++u) b.add_net({u, u + 1});
+  const Hypergraph g = std::move(b).build();
+  QuadraticPlacer placer(g);
+  std::vector<double> x(10, 0.5);
+  placer.solve({{0, 0.0, 10.0}, {9, 1.0, 10.0}}, x);
+  for (int i = 0; i + 1 < 10; ++i) {
+    EXPECT_LT(x[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(i + 1)]);
+  }
+}
+
+TEST(QuadraticPlacer, RequiresAnchors) {
+  const Hypergraph g = testing::chain_of_blocks(2, 4);
+  QuadraticPlacer placer(g);
+  std::vector<double> x;
+  EXPECT_THROW(placer.solve({}, x), std::invalid_argument);
+}
+
+TEST(QuadraticPlacer, RejectsBadAnchor) {
+  const Hypergraph g = testing::chain_of_blocks(2, 4);
+  QuadraticPlacer placer(g);
+  std::vector<double> x;
+  EXPECT_THROW(placer.solve({{999, 0.0, 1.0}}, x), std::out_of_range);
+  EXPECT_THROW(placer.solve({{0, 0.0, -1.0}}, x), std::invalid_argument);
+}
+
+TEST(QuadraticPlacer, AnchoredNodePulledToTarget) {
+  const Hypergraph g = testing::chain_of_blocks(2, 5);
+  QuadraticPlacer placer(g);
+  std::vector<double> x(g.num_nodes(), 0.0);
+  placer.solve({{0, 0.25, 10000.0}}, x);
+  EXPECT_NEAR(x[0], 0.25, 1e-3);
+}
+
+}  // namespace
+}  // namespace prop

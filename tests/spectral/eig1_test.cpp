@@ -1,0 +1,50 @@
+#include "spectral/eig1.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/validate.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(Eig1, SeparatesTwoCliques) {
+  // Two dense blocks joined by one bridge net: the Fiedler vector must
+  // split them apart.
+  const Hypergraph g = testing::chain_of_blocks(2, 10);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Eig1Partitioner eig1;
+  const PartitionResult r = eig1.run(g, balance, 1);
+  EXPECT_DOUBLE_EQ(r.cut_cost, 1.0);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+TEST(Eig1, ValidOnRandomCircuit) {
+  const Hypergraph g = testing::small_random_circuit(101);
+  for (const auto& balance : {BalanceConstraint::fifty_fifty(g),
+                              BalanceConstraint::forty_five(g)}) {
+    Eig1Partitioner eig1;
+    const PartitionResult r = eig1.run(g, balance, 2);
+    const ValidationReport report = validate_result(g, balance, r);
+    EXPECT_TRUE(report.ok) << report.message;
+  }
+}
+
+TEST(Eig1, DeterministicInSeed) {
+  const Hypergraph g = testing::small_random_circuit(103);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  Eig1Partitioner eig1;
+  EXPECT_EQ(eig1.run(g, balance, 7).side, eig1.run(g, balance, 7).side);
+}
+
+TEST(Eig1, HandlesChainOfManyBlocks) {
+  const Hypergraph g = testing::chain_of_blocks(6, 6);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Eig1Partitioner eig1;
+  const PartitionResult r = eig1.run(g, balance, 3);
+  // The spectral order follows the chain, so the cut is one bridge net.
+  EXPECT_LE(r.cut_cost, 2.0);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,84 @@
+#include "spectral/laplacian.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+
+namespace prop {
+namespace {
+
+TEST(Laplacian, TwoPinNetIsUnitEdge) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  const Hypergraph g = std::move(b).build();
+  const CsrMatrix L = clique_laplacian(g);
+  const std::vector<double> x = {1.0, -1.0};
+  std::vector<double> y(2);
+  L.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);   // L = [[1,-1],[-1,1]]
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Laplacian, RowSumsAreZero) {
+  HypergraphBuilder b(5);
+  b.add_net({0, 1, 2});
+  b.add_net({2, 3, 4}, 2.0);
+  b.add_net({0, 4});
+  const Hypergraph g = std::move(b).build();
+  const CsrMatrix L = clique_laplacian(g);
+  const std::vector<double> ones(5, 1.0);
+  std::vector<double> y(5);
+  L.multiply(ones, y);
+  for (const double v : y) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(Laplacian, CliqueWeightIsCostOverSizeMinusOne) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2}, 4.0);  // pairwise weight 4/2 = 2
+  const Hypergraph g = std::move(b).build();
+  const CsrMatrix L = clique_laplacian(g);
+  const auto d = L.diagonal();
+  // Each node connects to 2 others with weight 2 -> degree 4.
+  for (const double v : d) EXPECT_DOUBLE_EQ(v, 4.0);
+}
+
+TEST(Laplacian, QuadraticFormEqualsWeightedCutOnBipartition) {
+  // x in {0,1}^n: x^T L x = sum over clique edges crossing the cut.
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 3});
+  const Hypergraph g = std::move(b).build();
+  const CsrMatrix L = clique_laplacian(g);
+  const std::vector<double> x = {0.0, 0.0, 1.0, 1.0};
+  std::vector<double> y(4);
+  L.multiply(x, y);
+  double quad = 0.0;
+  for (int i = 0; i < 4; ++i) quad += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  EXPECT_DOUBLE_EQ(quad, 1.0);  // only edge {1,2} crosses
+}
+
+TEST(Laplacian, SinglePinNetsIgnored) {
+  HypergraphBuilder b(2);
+  b.add_net({0});
+  b.add_net({0, 1});
+  const Hypergraph g = std::move(b).build();
+  const CsrMatrix L = clique_laplacian(g);
+  EXPECT_EQ(L.nnz(), 4u);
+}
+
+TEST(Adjacency, MatchesLaplacianOffDiagonal) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1, 2});
+  const Hypergraph g = std::move(b).build();
+  const CsrMatrix W = clique_adjacency(g);
+  const auto d = W.diagonal();
+  for (const double v : d) EXPECT_DOUBLE_EQ(v, 0.0);
+  const std::vector<double> ones(3, 1.0);
+  std::vector<double> y(3);
+  W.multiply(ones, y);
+  for (const double v : y) EXPECT_DOUBLE_EQ(v, 1.0);  // 2 neighbors * 0.5
+}
+
+}  // namespace
+}  // namespace prop

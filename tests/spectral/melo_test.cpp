@@ -1,0 +1,48 @@
+#include "spectral/melo.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/validate.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+TEST(Melo, SeparatesTwoCliques) {
+  const Hypergraph g = testing::chain_of_blocks(2, 10);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  MeloPartitioner melo;
+  const PartitionResult r = melo.run(g, balance, 1);
+  EXPECT_DOUBLE_EQ(r.cut_cost, 1.0);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+TEST(Melo, ValidOnRandomCircuit) {
+  const Hypergraph g = testing::small_random_circuit(107);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  MeloPartitioner melo;
+  const PartitionResult r = melo.run(g, balance, 2);
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(Melo, DeterministicInSeed) {
+  const Hypergraph g = testing::small_random_circuit(109);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  MeloPartitioner melo;
+  EXPECT_EQ(melo.run(g, balance, 4).side, melo.run(g, balance, 4).side);
+}
+
+TEST(Melo, SingleEigenvectorDegeneratesToEig1Style) {
+  const Hypergraph g = testing::chain_of_blocks(4, 6);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  MeloConfig config;
+  config.num_eigenvectors = 1;
+  MeloPartitioner melo(config);
+  const PartitionResult r = melo.run(g, balance, 5);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+  EXPECT_LE(r.cut_cost, 2.0);
+}
+
+}  // namespace
+}  // namespace prop

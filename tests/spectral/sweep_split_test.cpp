@@ -1,0 +1,71 @@
+#include "spectral/sweep_split.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hypergraph/builder.h"
+#include "partition/validate.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+TEST(SweepSplit, FindsObviousSplitOnChain) {
+  const Hypergraph g = testing::chain_of_blocks(4, 5);  // 20 nodes
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});  // natural chain order
+  const PartitionResult r = best_prefix_split(g, balance, order);
+  EXPECT_DOUBLE_EQ(r.cut_cost, 1.0);  // one bridge net
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+TEST(SweepSplit, RespectsBalanceWindow) {
+  const Hypergraph g = testing::chain_of_blocks(4, 5);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  const PartitionResult r = best_prefix_split(g, balance, order);
+  const ValidationReport report = validate_result(g, balance, r);
+  EXPECT_TRUE(report.ok) << report.message;
+}
+
+TEST(SweepSplit, ReportedCutMatchesRecomputation) {
+  const Hypergraph g = testing::small_random_circuit(91);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(91);
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+  const PartitionResult r = best_prefix_split(g, balance, order);
+  EXPECT_TRUE(validate_result(g, balance, r).ok);
+}
+
+TEST(SweepSplit, PicksBestAmongFeasiblePrefixes) {
+  // Chain 0-1-2-3-4-5 with a heavy net in the middle: with a wide window
+  // the sweep must avoid cutting the heavy net.
+  HypergraphBuilder b(6);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 3}, 10.0);
+  b.add_net({3, 4});
+  b.add_net({4, 5});
+  const Hypergraph g = std::move(b).build();
+  const BalanceConstraint balance = BalanceConstraint::fraction(g, 0.3, 0.7);
+  std::vector<NodeId> order = {0, 1, 2, 3, 4, 5};
+  const PartitionResult r = best_prefix_split(g, balance, order);
+  EXPECT_DOUBLE_EQ(r.cut_cost, 1.0);
+}
+
+TEST(SweepSplit, WrongSizeOrderThrows) {
+  const Hypergraph g = testing::chain_of_blocks(2, 4);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  const std::vector<NodeId> short_order = {0, 1, 2};
+  EXPECT_THROW(best_prefix_split(g, balance, short_order),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prop

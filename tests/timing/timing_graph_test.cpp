@@ -1,0 +1,129 @@
+#include "timing/timing_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "hypergraph/builder.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+/// Chain 0 -> 1 -> 2 -> 3 (each net's first pin drives).
+Hypergraph chain4() {
+  HypergraphBuilder b(4);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 3});
+  return std::move(b).build();
+}
+
+TEST(Timing, ChainArrivalTimes) {
+  const TimingAnalysis sta = analyze_timing(chain4());
+  EXPECT_DOUBLE_EQ(sta.arrival[0], 0.0);
+  EXPECT_DOUBLE_EQ(sta.arrival[1], 2.0);  // node + net delay
+  EXPECT_DOUBLE_EQ(sta.arrival[2], 4.0);
+  EXPECT_DOUBLE_EQ(sta.arrival[3], 6.0);
+  EXPECT_DOUBLE_EQ(sta.critical_path, 6.0);
+  EXPECT_EQ(sta.back_edges, 0u);
+}
+
+TEST(Timing, ChainIsFullyCritical) {
+  const TimingAnalysis sta = analyze_timing(chain4());
+  for (NetId n = 0; n < 3; ++n) {
+    EXPECT_DOUBLE_EQ(sta.net_slack[n], 0.0) << "net " << n;
+    EXPECT_DOUBLE_EQ(sta.net_criticality(n), 1.0) << "net " << n;
+  }
+}
+
+TEST(Timing, SideBranchHasSlack) {
+  // 0 -> 1 -> 2 -> 3 critical; 0 -> 4 short branch.
+  HypergraphBuilder b(5);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 3});
+  b.add_net({0, 4});
+  const Hypergraph g = std::move(b).build();
+  const TimingAnalysis sta = analyze_timing(g);
+  EXPECT_DOUBLE_EQ(sta.critical_path, 6.0);
+  EXPECT_DOUBLE_EQ(sta.net_slack[3], 4.0);  // 4 arrives at 2, required 6
+  EXPECT_LT(sta.net_criticality(3), 1.0);
+  EXPECT_GT(sta.net_slack[3], sta.net_slack[0]);
+}
+
+TEST(Timing, RequiredTimesConsistent) {
+  const TimingAnalysis sta = analyze_timing(chain4());
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_GE(sta.required[u] + 1e-9, sta.arrival[u]);
+  }
+  EXPECT_DOUBLE_EQ(sta.required[0], 0.0);
+  EXPECT_DOUBLE_EQ(sta.required[3], 6.0);
+}
+
+TEST(Timing, FanoutNetSlackIsTightestEdge) {
+  // Net {0, 1, 2}: 0 drives both; 1 continues into a chain, 2 is a leaf.
+  HypergraphBuilder b(4);
+  b.add_net({0, 1, 2});
+  b.add_net({1, 3});
+  const Hypergraph g = std::move(b).build();
+  const TimingAnalysis sta = analyze_timing(g);
+  EXPECT_DOUBLE_EQ(sta.critical_path, 4.0);
+  // Edge 0->1 has slack 0; edge 0->2 has slack 2 -> net slack 0.
+  EXPECT_DOUBLE_EQ(sta.net_slack[0], 0.0);
+}
+
+TEST(Timing, CycleIsBrokenNotFatal) {
+  HypergraphBuilder b(3);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 0});  // feedback
+  const Hypergraph g = std::move(b).build();
+  const TimingAnalysis sta = analyze_timing(g);
+  EXPECT_GE(sta.back_edges, 1u);
+  EXPECT_GT(sta.critical_path, 0.0);
+}
+
+TEST(Timing, CustomDelays) {
+  TimingOptions options;
+  options.node_delay = 2.0;
+  options.net_delay = 3.0;
+  const TimingAnalysis sta = analyze_timing(chain4(), options);
+  EXPECT_DOUBLE_EQ(sta.critical_path, 15.0);
+}
+
+TEST(TimingWeights, CriticalNetsGetHeavier) {
+  HypergraphBuilder b(5);
+  b.add_net({0, 1});
+  b.add_net({1, 2});
+  b.add_net({2, 3});
+  b.add_net({0, 4});  // slack-rich branch
+  const Hypergraph g = std::move(b).build();
+  const TimingAnalysis sta = analyze_timing(g);
+  const Hypergraph weighted = apply_timing_weights(g, sta, 4.0);
+  EXPECT_DOUBLE_EQ(weighted.net_cost(0), 5.0);  // criticality 1 -> 1 + 4
+  EXPECT_LT(weighted.net_cost(3), 5.0);
+  EXPECT_GE(weighted.net_cost(3), 1.0);
+  EXPECT_FALSE(weighted.unit_net_costs());
+  // Structure preserved.
+  EXPECT_EQ(weighted.num_nets(), g.num_nets());
+  EXPECT_EQ(weighted.num_pins(), g.num_pins());
+}
+
+TEST(TimingWeights, RejectsBadAlpha) {
+  const Hypergraph g = chain4();
+  const TimingAnalysis sta = analyze_timing(g);
+  EXPECT_THROW(apply_timing_weights(g, sta, 0.0), std::invalid_argument);
+}
+
+TEST(Timing, WorksOnGeneratedCircuit) {
+  const Hypergraph g = testing::small_random_circuit(171);
+  const TimingAnalysis sta = analyze_timing(g);
+  EXPECT_GT(sta.critical_path, 0.0);
+  for (NetId n = 0; n < g.num_nets(); ++n) {
+    const double c = sta.net_criticality(n);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace prop

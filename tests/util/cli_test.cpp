@@ -1,0 +1,72 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace prop {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const auto args = parse({"prog", "--runs=20", "--name=balu"});
+  EXPECT_EQ(args.get_int_or("runs", 0), 20);
+  EXPECT_EQ(args.get_or("name", ""), "balu");
+}
+
+TEST(Cli, SpaceSeparatedForm) {
+  const auto args = parse({"prog", "--runs", "7"});
+  EXPECT_EQ(args.get_int_or("runs", 0), 7);
+}
+
+TEST(Cli, BooleanFlag) {
+  const auto args = parse({"prog", "--fast"});
+  EXPECT_TRUE(args.get_bool_or("fast", false));
+  EXPECT_FALSE(args.get_bool_or("slow", false));
+}
+
+TEST(Cli, BooleanExplicitValues) {
+  const auto args = parse({"prog", "--a=true", "--b=0", "--c=off", "--d=yes"});
+  EXPECT_TRUE(args.get_bool_or("a", false));
+  EXPECT_FALSE(args.get_bool_or("b", true));
+  EXPECT_FALSE(args.get_bool_or("c", true));
+  EXPECT_TRUE(args.get_bool_or("d", false));
+}
+
+TEST(Cli, Positional) {
+  const auto args = parse({"prog", "input.hgr", "--k=4", "out.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.hgr");
+  EXPECT_EQ(args.positional()[1], "out.txt");
+}
+
+TEST(Cli, DoubleValues) {
+  const auto args = parse({"prog", "--eps=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double_or("eps", 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(args.get_double_or("missing", 1.5), 1.5);
+}
+
+TEST(Cli, MissingReturnsFallback) {
+  const auto args = parse({"prog"});
+  EXPECT_EQ(args.get_int_or("runs", 42), 42);
+  EXPECT_EQ(args.get_or("name", "dflt"), "dflt");
+  EXPECT_FALSE(args.get("anything").has_value());
+}
+
+TEST(Cli, ProgramName) {
+  const auto args = parse({"myprog"});
+  EXPECT_EQ(args.program(), "myprog");
+}
+
+TEST(Cli, FlagNamesEnumerated) {
+  const auto args = parse({"prog", "--b=1", "--a=2"});
+  const auto names = args.flag_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace prop {
+namespace {
+
+TEST(Log, ParseLevels) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("garbage"), LogLevel::kWarn);
+}
+
+TEST(Log, SetAndGetLevel) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Emitting below the threshold must be a safe no-op.
+  log_info() << "suppressed " << 42;
+  set_log_level(before);
+}
+
+TEST(Log, StreamingBuildsMessages) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  log_error() << "value=" << 3.5 << " name=" << std::string("x");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace prop
