@@ -1,0 +1,81 @@
+// PROP gain-drift measurement harness.
+//
+// PROP's incremental gains[] are approximately consistent with a
+// from-scratch recompute by design: updating p(v) after a move stales the
+// neighbours' previously computed gains (Sec. 3.4 of the paper).  This
+// harness quantifies that staleness: it runs PROP with the invariant
+// auditor enabled on generated MCNC-like circuits and reports the maximum
+// |gains[v] - scratch_gain(v)| observed across all audit sweeps, with and
+// without a periodic gain resync.
+//
+// Flags: --fast (smaller circuit list), --runs N, --seed N,
+// --audit-interval N, --resync-interval N (0 disables resync).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/prop_partitioner.h"
+#include "hypergraph/generator.h"
+#include "partition/runner.h"
+
+int main(int argc, char** argv) {
+  const prop::CliArgs args(argc, argv);
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const int runs = static_cast<int>(args.get_int_or("runs", 5));
+  const int audit = static_cast<int>(args.get_int_or("audit-interval", 4));
+  const int resync = static_cast<int>(args.get_int_or("resync-interval", 16));
+
+  struct Shape {
+    const char* name;
+    prop::NodeId nodes;
+    prop::NetId nets;
+    std::size_t pins;
+  };
+  const Shape shapes[] = {
+      {"g300", 300, 380, 1300},   {"g600", 600, 750, 2600},
+      {"g1000", 1000, 1300, 4500}, {"g1500", 1500, 1900, 6600},
+      {"g2000", 2000, 2600, 9000},
+  };
+  const int limit = args.get_bool_or("fast", false) ? 3 : 5;
+
+  std::printf("PROP incremental-gain drift vs from-scratch recompute\n");
+  std::printf("(audit every %d moves; resync cadence %d; %d runs each)\n\n",
+              audit, resync, runs);
+  std::printf("%-8s %8s %8s | %14s %14s | %12s\n", "circuit", "nodes", "nets",
+              "drift(none)", "drift(resync)", "cut none/sync");
+  prop::bench::print_rule(78);
+
+  for (int i = 0; i < limit; ++i) {
+    const Shape& s = shapes[i];
+    const prop::Hypergraph g = prop::generate_circuit(
+        {s.name, s.nodes, s.nets, s.pins}, prop::mix_seed(seed, 11 + i));
+    const prop::BalanceConstraint balance =
+        prop::BalanceConstraint::forty_five(g);
+    prop::RunnerOptions options;
+    options.collect_telemetry = true;
+
+    prop::PropConfig raw;
+    raw.audit_interval = audit;
+    prop::PropPartitioner plain(raw);
+    const prop::MultiRunResult none =
+        prop::run_many(plain, g, balance, runs, seed, options);
+
+    prop::PropConfig bounded = raw;
+    bounded.resync_interval = resync;
+    prop::PropPartitioner synced(bounded);
+    const prop::MultiRunResult sync =
+        prop::run_many(synced, g, balance, runs, seed, options);
+
+    std::printf("%-8s %8u %8u | %14.6g %14.6g | %6.0f /%6.0f\n", s.name,
+                g.num_nodes(), g.num_nets(), none.max_gain_drift(),
+                sync.max_gain_drift(), none.best_cut(), sync.best_cut());
+  }
+
+  std::printf(
+      "\ndrift(none): max |incremental - scratch| gain gap over all audit\n"
+      "sweeps with no resync — the paper-design staleness bound in practice.\n"
+      "drift(resync): same measurement when gains are resynced from scratch\n"
+      "every %d moves (the auditor additionally hard-asserts exactness to\n"
+      "1e-6 immediately after each resync).\n",
+      resync);
+  return 0;
+}

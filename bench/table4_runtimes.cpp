@@ -5,8 +5,13 @@
 // far cheaper than the clustering methods on large circuits) are the
 // reproduced shape.
 //
-// Flags: --fast, --circuit NAME, --reps N (timing repetitions), --seed.
+// Flags: --fast, --circuit NAME, --reps N (timing repetitions), --seed,
+// --stats-json FILE (collect per-pass refinement telemetry for the
+// iterative methods and dump every run's trajectory as a JSON array —
+// telemetry collection is per-run opt-in, so the timed columns without the
+// flag are unaffected).
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.h"
 #include "cluster/window.h"
@@ -24,6 +29,19 @@ int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int reps = static_cast<int>(args.get_int_or("reps", 3));
+  const auto stats_json = args.get("stats-json");
+  prop::RunnerOptions options;
+  options.collect_telemetry = stats_json.has_value();
+  std::ofstream stats_out;
+  if (stats_json) {
+    stats_out.open(*stats_json);
+    if (!stats_out) {
+      std::fprintf(stderr, "error: cannot write %s\n", stats_json->c_str());
+      return 1;
+    }
+    stats_out << "[";
+  }
+  bool stats_first = true;
 
   std::printf("Table 4: CPU seconds per run (mean of %d runs each)\n\n", reps);
   std::printf("%-10s %10s %10s %8s %8s %8s %8s %10s %8s %8s\n", "circuit",
@@ -58,12 +76,21 @@ int main(int argc, char** argv) {
         prop::BalanceConstraint::forty_five(g);
     std::printf("%-10s", name.c_str());
     for (auto& m : methods) {
-      const prop::MultiRunResult r =
-          prop::run_many(*m.algo, g, balance, reps, prop::mix_seed(seed, 7));
+      const prop::MultiRunResult r = prop::run_many(
+          *m.algo, g, balance, reps, prop::mix_seed(seed, 7), options);
       m.total += r.seconds_per_run * m.paper_runs;
       std::printf(" %9.4f", r.seconds_per_run);
+      if (stats_json && !r.telemetry.empty()) {
+        if (!stats_first) stats_out << ",\n";
+        stats_first = false;
+        prop::write_stats_json(stats_out, name, m.algo->name(), r);
+      }
     }
     std::printf("\n");
+  }
+  if (stats_json) {
+    stats_out << "]\n";
+    std::printf("\nwrote per-pass telemetry to %s\n", stats_json->c_str());
   }
 
   prop::bench::print_rule(110);

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Repo verification loop: plain Release build + tests, then the same test
+# suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+#
+#   scripts/verify.sh           # release tests + sanitizer tests
+#   scripts/verify.sh --fast    # release tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== release build + tests =="
+cmake --preset release
+cmake --build --preset release -j "$jobs"
+ctest --preset release -j "$jobs"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipped sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== asan+ubsan build + tests =="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs"
+
+echo "== verify OK =="

@@ -39,6 +39,26 @@ void ProbGainCalculator::move_locked(NodeId u, int from_side) {
   }
 }
 
+void ProbGainCalculator::audit_consistency() const {
+  const Hypergraph& g = part_->graph();
+  std::vector<std::uint32_t> recount(2 * g.num_nets(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (locked_[u]) {
+      if (p_[u] != 0.0) {
+        throw std::logic_error("prob gain audit: locked node with p != 0");
+      }
+      const int s = part_->side(u);
+      for (const NetId n : g.nets_of(u)) ++recount[2 * n + s];
+    } else if (p_[u] < 0.0 || p_[u] > 1.0) {
+      throw std::logic_error("prob gain audit: free probability out of [0,1]");
+    }
+  }
+  if (recount != locked_pins_) {
+    throw std::logic_error(
+        "prob gain audit: locked-pin counts diverged from scratch recount");
+  }
+}
+
 double ProbGainCalculator::removal_probability(NetId n, int to) const {
   const int from = 1 - to;
   if (side_locked(n, from)) return 0.0;

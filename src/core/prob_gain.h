@@ -94,6 +94,12 @@ class ProbGainCalculator {
   /// pin.  This is the paper's p(n^{1->2}) / p(n^{2->1}).
   double removal_probability(NetId n, int to) const;
 
+  /// Debug invariant audit: recounts the per-(net, side) locked-pin table
+  /// from the lock flags and the partition, and checks probability bounds
+  /// (locked => p == 0, free => p in [0, 1]).  Throws std::logic_error on
+  /// any mismatch.  O(pins); used by PROP's audit_interval mode.
+  void audit_consistency() const;
+
  private:
   bool side_locked(NetId n, int s) const noexcept {
     return locked_pins_[2 * n + s] > 0;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/probability_model.h"
+#include "telemetry/telemetry.h"
 
 namespace prop {
 
@@ -29,6 +30,26 @@ struct PropConfig {
   int top_update_width = 5;
 
   int max_passes = 64;
+
+  /// Opt-in per-pass trajectory recording; null records nothing.
+  RefineTelemetry* telemetry = nullptr;
+
+  /// Debug auditor cadence: every `audit_interval` moves the pass verifies
+  /// the exact incremental invariants from scratch — per-(net, side) locked
+  /// pin counts, tree keys == gains[], probability bounds, cut cost — and
+  /// throws std::logic_error on a mismatch beyond `audit_tolerance`.  The
+  /// gap between gains[] and a from-scratch ProbGainCalculator recompute is
+  /// *recorded* as PassStats::max_gain_drift (it mixes FP drift with the
+  /// deliberate staleness of the paper's Sec. 3.4 update policy); it is
+  /// hard-asserted only immediately after a resync, where exact agreement
+  /// is guaranteed.  0 = off.
+  int audit_interval = 0;
+  double audit_tolerance = 1e-6;
+
+  /// Every `resync_interval` moves, recompute gains[] of all free nodes
+  /// from scratch (probabilities are left to the normal per-move updates),
+  /// bounding incremental drift.  0 = off (the paper's plain scheme).
+  int resync_interval = 0;
 };
 
 }  // namespace prop

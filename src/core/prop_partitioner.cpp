@@ -1,16 +1,24 @@
 #include "core/prop_partitioner.h"
 
+#include <cmath>
 #include <vector>
 
 #include "core/prob_gain.h"
 #include "datastruct/avl_tree.h"
 #include "partition/initial.h"
+#include "telemetry/invariant_audit.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace prop {
 namespace {
 
 constexpr double kEps = 1e-9;
+
+/// Probabilistic gains are products/sums of doubles, so exact comparisons
+/// essentially never fire; anything within this absolute tolerance is
+/// treated as equal (selection ties) or as unchanged (delta application).
+constexpr double kGainEps = 1e-12;
 
 using GainTree = AvlTree<double>;
 
@@ -43,18 +51,84 @@ void bootstrap_probabilities(const Partition& part, const PropConfig& config,
 /// refreshing its tree position and the gains mirror.
 void refresh_node(NodeId v, const PropConfig& config, ProbGainCalculator& calc,
                   const Partition& part, std::vector<double>& gains,
-                  GainTree& side0, GainTree& side1) {
+                  GainTree& side0, GainTree& side1, PassStats* stats) {
   const double g = calc.gain(v);
   gains[v] = g;
   GainTree& tree = part.side(v) == 0 ? side0 : side1;
-  if (tree.contains(v)) tree.update(v, g);
+  if (tree.contains(v)) {
+    tree.update(v, g);
+    if (stats) ++stats->ops.updates;
+  }
   calc.set_probability(v, config.model.from_gain(g));
+}
+
+/// Drift-bounding resync (PropConfig::resync_interval): recomputes gains[]
+/// of every free node from scratch at the current probability state and
+/// refreshes the tree keys.  Probabilities are deliberately left to the
+/// normal per-move updates, so immediately after this sweep gains[] agrees
+/// with ProbGainCalculator::gain exactly.
+void resync_gains(const Partition& part, const ProbGainCalculator& calc,
+                  std::vector<double>& gains, GainTree& side0, GainTree& side1,
+                  PassStats* stats) {
+  const NodeId n = part.graph().num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    if (!calc.is_free(v)) continue;
+    gains[v] = calc.gain(v);
+    GainTree& tree = part.side(v) == 0 ? side0 : side1;
+    if (tree.contains(v)) {
+      tree.update(v, gains[v]);
+      if (stats) ++stats->ops.updates;
+    }
+    if (stats) ++stats->resyncs;
+  }
+}
+
+/// Debug audit (PropConfig::audit_interval): asserts the exact incremental
+/// invariants — locked-pin counts, probability bounds, tree membership and
+/// tree keys vs gains[], incremental cut cost — and records the gap between
+/// gains[] and a from-scratch recompute as telemetry drift.  The gap is
+/// hard-asserted only when `expect_scratch_match` is set (right after a
+/// resync): in between, gains[] is stale w.r.t. later probability updates
+/// of neighboring nodes *by design* (the paper's Sec. 3.4 update policy).
+void prop_audit(const Partition& part, const ProbGainCalculator& calc,
+                const std::vector<double>& gains, const GainTree& side0,
+                const GainTree& side1, const PropConfig& config,
+                PassStats* stats, bool expect_scratch_match) {
+  audit::check_cut(part, config.audit_tolerance);
+  calc.audit_consistency();
+  audit::DriftTracker drift;
+  const NodeId n = part.graph().num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const GainTree& own = part.side(v) == 0 ? side0 : side1;
+    const GainTree& other = part.side(v) == 0 ? side1 : side0;
+    if (!calc.is_free(v)) {
+      audit::check_node(!side0.contains(v) && !side1.contains(v),
+                        "PROP: locked node still in a gain tree", v);
+      continue;
+    }
+    audit::check_node(own.contains(v) && !other.contains(v),
+                      "PROP: free node not in its side's gain tree", v);
+    audit::check_node(own.key(v) == gains[v],
+                      "PROP: tree key out of sync with gains[]", v);
+    const double scratch = calc.gain(v);
+    drift.observe(v, gains[v], scratch);
+    if (expect_scratch_match) {
+      audit::check_close(gains[v], scratch, config.audit_tolerance,
+                         "PROP gain after resync", v);
+    }
+  }
+  if (stats) {
+    ++stats->audits;
+    if (drift.max_abs > stats->max_gain_drift) {
+      stats->max_gain_drift = drift.max_abs;
+    }
+  }
 }
 
 /// One PROP pass (steps 3-10 of Fig. 2).  Returns the accepted improvement.
 double prop_pass(Partition& part, const BalanceConstraint& balance,
                  const PropConfig& config, ProbGainCalculator& calc,
-                 GainTree& side0, GainTree& side1) {
+                 GainTree& side0, GainTree& side1, PassStats* stats) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
 
@@ -67,6 +141,7 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
   for (NodeId u = 0; u < n; ++u) {
     (part.side(u) == 0 ? side0 : side1).insert(u, gains[u]);
   }
+  if (stats) stats->ops.inserts += n;
 
   std::vector<double> delta(n, 0.0);
 
@@ -113,9 +188,11 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
       u = h1;
     } else if (h1 == GainTree::kNull) {
       u = h0;
-    } else if (side0.key(h0) != side1.key(h1)) {
+    } else if (std::abs(side0.key(h0) - side1.key(h1)) > kGainEps) {
       u = side0.key(h0) > side1.key(h1) ? h0 : h1;
     } else {
+      // Gain tie (within FP tolerance — an exact comparison of probability
+      // products never ties): move from the heavier side, mirroring FM.
       u = part.side_size(0) >= part.side_size(1) ? h0 : h1;
     }
 
@@ -123,6 +200,7 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
     const int from = part.side(u);
     const double immediate = part.immediate_gain(u);
     (from == 0 ? side0 : side1).erase(u);
+    if (stats) ++stats->ops.erases;
 
     // Step 8 / Sec. 3.4: after moving u, the removal probabilities of u's
     // nets change, so every free pin of those nets gets the before/after
@@ -149,10 +227,17 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
     visit(+1.0);
 
     for (const NodeId v : to_refresh) {
-      if (delta[v] == 0.0) continue;  // contribution unchanged
+      // An exact == 0.0 test never fires once real contributions cancel:
+      // the -old/+new accumulation leaves FP residue.  Treat residue-sized
+      // deltas as "contribution unchanged" so they neither trigger tree
+      // updates nor seep into gains[].
+      if (std::abs(delta[v]) <= kGainEps) continue;
       gains[v] += delta[v];
       GainTree& tree = part.side(v) == 0 ? side0 : side1;
-      if (tree.contains(v)) tree.update(v, gains[v]);
+      if (tree.contains(v)) {
+        tree.update(v, gains[v]);
+        if (stats) ++stats->ops.updates;
+      }
       calc.set_probability(v, config.model.from_gain(gains[v]));
     }
 
@@ -165,7 +250,7 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
         return --budget > 0;
       });
       for (const NodeId v : to_refresh) {
-        refresh_node(v, config, calc, part, gains, side0, side1);
+        refresh_node(v, config, calc, part, gains, side0, side1, stats);
       }
     }
 
@@ -175,11 +260,36 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
       best_prefix = prefix;
       best_count = moved.size();
     }
+
+    const bool audit_due =
+        config.audit_interval > 0 &&
+        moved.size() % static_cast<std::size_t>(config.audit_interval) == 0;
+    const bool resync_due =
+        config.resync_interval > 0 &&
+        moved.size() % static_cast<std::size_t>(config.resync_interval) == 0;
+    if (audit_due) {
+      // Records the accumulated drift since the last resync (or pass start).
+      prop_audit(part, calc, gains, side0, side1, config, stats,
+                 /*expect_scratch_match=*/false);
+    }
+    if (resync_due) {
+      resync_gains(part, calc, gains, side0, side1, stats);
+      if (audit_due) {
+        // Post-resync, gains[] must equal the scratch recompute exactly.
+        prop_audit(part, calc, gains, side0, side1, config, stats,
+                   /*expect_scratch_match=*/true);
+      }
+    }
   }
 
   // Step 10: keep only the maximum-prefix moves.
   for (std::size_t i = moved.size(); i > best_count; --i) {
     part.move(moved[i - 1]);
+  }
+  if (stats) {
+    stats->moves_attempted = moved.size();
+    stats->moves_accepted = best_count;
+    stats->best_prefix_gain = best_prefix;
   }
   return best_prefix;
 }
@@ -194,8 +304,20 @@ RefineOutcome prop_refine(Partition& part, const BalanceConstraint& balance,
   GainTree side1(part.graph().num_nodes());
   RefineOutcome out;
   for (int pass = 0; pass < config.max_passes; ++pass) {
-    const double gained = prop_pass(part, balance, config, calc, side0, side1);
+    PassStats* stats = nullptr;
+    WallTimer wall;
+    CpuTimer cpu;
+    if (config.telemetry) {
+      stats = &config.telemetry->begin_pass(part.cut_cost());
+    }
+    const double gained =
+        prop_pass(part, balance, config, calc, side0, side1, stats);
     ++out.passes;
+    if (stats) {
+      stats->cut_after = part.cut_cost();
+      stats->wall_seconds = wall.seconds();
+      stats->cpu_seconds = cpu.seconds();
+    }
     if (gained <= kEps) break;
   }
   out.cut_cost = part.cut_cost();

@@ -28,6 +28,11 @@ class PropPartitioner final : public Bipartitioner {
 
   std::string name() const override { return "PROP"; }
 
+  bool attach_telemetry(RefineTelemetry* telemetry) noexcept override {
+    config_.telemetry = telemetry;
+    return true;
+  }
+
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 

@@ -7,6 +7,8 @@
 #include "datastruct/bucket_list.h"
 #include "fm/fm_gains.h"
 #include "partition/initial.h"
+#include "telemetry/invariant_audit.h"
+#include "util/timer.h"
 
 namespace prop {
 namespace {
@@ -76,11 +78,47 @@ class TreeContainer {
   Tree tree_;
 };
 
+/// Debug audit (FmConfig::audit_interval): checks every free node's
+/// container gain against a from-scratch Eqn. 1 recompute, container
+/// membership against the lock flags, and the incremental cut cost.  The
+/// FM update rules restate the scratch definition exactly, so any gap
+/// beyond FP accumulation noise is a bug.
+template <typename Container>
+void fm_audit(const Partition& part, const std::vector<std::uint8_t>& locked,
+              const Container& side0, const Container& side1,
+              const FmConfig& config, PassStats* stats) {
+  audit::check_cut(part, config.audit_tolerance);
+  audit::DriftTracker drift;
+  const NodeId n = part.graph().num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const Container& own = part.side(v) == 0 ? side0 : side1;
+    const Container& other = part.side(v) == 0 ? side1 : side0;
+    if (locked[v]) {
+      audit::check_node(!side0.contains(v) && !side1.contains(v),
+                        "FM: locked node still in a gain container", v);
+      continue;
+    }
+    audit::check_node(own.contains(v) && !other.contains(v),
+                      "FM: free node not in its side's gain container", v);
+    const double scratch = part.immediate_gain(v);
+    drift.observe(v, own.gain(v), scratch);
+    audit::check_close(own.gain(v), scratch, config.audit_tolerance,
+                       "FM incremental gain", v);
+  }
+  if (stats) {
+    ++stats->audits;
+    if (drift.max_abs > stats->max_gain_drift) {
+      stats->max_gain_drift = drift.max_abs;
+    }
+  }
+}
+
 /// One FM pass: virtually move everything, roll back to the best prefix.
 /// Returns the accepted (positive part of the) improvement.
 template <typename Container>
 double fm_pass(Partition& part, const BalanceConstraint& balance,
-               Container& side0, Container& side1) {
+               const FmConfig& config, Container& side0, Container& side1,
+               PassStats* stats) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
 
@@ -90,6 +128,7 @@ double fm_pass(Partition& part, const BalanceConstraint& balance,
   for (NodeId u = 0; u < n; ++u) {
     (part.side(u) == 0 ? side0 : side1).insert(u, part.immediate_gain(u));
   }
+  if (stats) stats->ops.inserts += n;
 
   std::vector<NodeId> moved;
   moved.reserve(n);
@@ -136,12 +175,14 @@ double fm_pass(Partition& part, const BalanceConstraint& balance,
     const double immediate = part.immediate_gain(u);
     (part.side(u) == 0 ? side0 : side1).erase(u);
     locked[u] = 1;
+    if (stats) ++stats->ops.erases;
 
     fm_move_with_updates(
         part, u, [&](NodeId v) { return locked[v] == 0; },
         [&](NodeId v, double delta) {
           Container& c = part.side(v) == 0 ? side0 : side1;
           c.update(v, c.gain(v) + delta);
+          if (stats) ++stats->ops.updates;
         });
 
     moved.push_back(u);
@@ -150,11 +191,21 @@ double fm_pass(Partition& part, const BalanceConstraint& balance,
       best_prefix = prefix;
       best_count = moved.size();
     }
+
+    if (config.audit_interval > 0 &&
+        moved.size() % static_cast<std::size_t>(config.audit_interval) == 0) {
+      fm_audit(part, locked, side0, side1, config, stats);
+    }
   }
 
   // Roll back every move beyond the maximum-prefix point.
   for (std::size_t i = moved.size(); i > best_count; --i) {
     part.move(moved[i - 1]);
+  }
+  if (stats) {
+    stats->moves_attempted = moved.size();
+    stats->moves_accepted = best_count;
+    stats->best_prefix_gain = best_prefix;
   }
   return best_prefix;
 }
@@ -168,8 +219,19 @@ RefineOutcome refine_with(Partition& part, const BalanceConstraint& balance,
   Container side1(part.graph().num_nodes(), max_gain);
   RefineOutcome out;
   for (int pass = 0; pass < config.max_passes; ++pass) {
-    const double gained = fm_pass(part, balance, side0, side1);
+    PassStats* stats = nullptr;
+    WallTimer wall;
+    CpuTimer cpu;
+    if (config.telemetry) {
+      stats = &config.telemetry->begin_pass(part.cut_cost());
+    }
+    const double gained = fm_pass(part, balance, config, side0, side1, stats);
     ++out.passes;
+    if (stats) {
+      stats->cut_after = part.cut_cost();
+      stats->wall_seconds = wall.seconds();
+      stats->cpu_seconds = cpu.seconds();
+    }
     if (gained <= kEps) break;
   }
   out.cut_cost = part.cut_cost();

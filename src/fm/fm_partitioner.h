@@ -16,6 +16,7 @@
 
 #include "partition/partition.h"
 #include "partition/partitioner.h"
+#include "telemetry/telemetry.h"
 #include "util/rng.h"
 
 namespace prop {
@@ -26,6 +27,15 @@ struct FmConfig {
   FmStructure structure = FmStructure::kBucket;
   /// Safety bound; the paper observes convergence in 2-4 passes.
   int max_passes = 64;
+
+  /// Opt-in per-pass trajectory recording; null records nothing.
+  RefineTelemetry* telemetry = nullptr;
+
+  /// Debug auditor cadence: every `audit_interval` moves the pass
+  /// recomputes gains and cut cost from scratch and throws
+  /// std::logic_error on a mismatch beyond `audit_tolerance`.  0 = off.
+  int audit_interval = 0;
+  double audit_tolerance = 1e-6;
 };
 
 /// Improves `part` in place until a pass yields no gain.  Deterministic in
@@ -39,6 +49,11 @@ class FmPartitioner final : public Bipartitioner {
 
   std::string name() const override {
     return config_.structure == FmStructure::kBucket ? "FM-bucket" : "FM-tree";
+  }
+
+  bool attach_telemetry(RefineTelemetry* telemetry) noexcept override {
+    config_.telemetry = telemetry;
+    return true;
   }
 
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,

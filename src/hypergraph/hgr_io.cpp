@@ -36,7 +36,14 @@ Hypergraph read_hgr(std::istream& in, std::string name) {
   if (header.fail() || num_nets < 0 || num_nodes < 0) {
     throw std::runtime_error("hgr: malformed header");
   }
-  header >> fmt;  // optional
+  if (header >> fmt) {  // optional fmt code
+    std::string junk;
+    if (header >> junk) {
+      throw std::runtime_error("hgr: malformed header (trailing junk)");
+    }
+  } else if (!header.eof()) {
+    throw std::runtime_error("hgr: malformed header");
+  }
   const bool weighted_nets = (fmt == 1 || fmt == 11);
   const bool weighted_nodes = (fmt == 10 || fmt == 11);
   if (fmt != 0 && !weighted_nets && !weighted_nodes) {
@@ -66,6 +73,9 @@ Hypergraph read_hgr(std::istream& in, std::string name) {
       }
       pins.push_back(static_cast<NodeId>(pin - 1));
     }
+    if (!net_line.eof()) {
+      throw std::runtime_error("hgr: junk token in net line");
+    }
     if (pins.empty()) {
       throw std::runtime_error("hgr: net with no pins");
     }
@@ -76,8 +86,19 @@ Hypergraph read_hgr(std::istream& in, std::string name) {
       if (!next_content_line(in, line)) {
         throw std::runtime_error("hgr: truncated node weights");
       }
-      const long long w = std::stoll(line);
-      if (w <= 0) throw std::runtime_error("hgr: bad node weight");
+      // Stream-parse like the net lines so malformed or overflowing values
+      // surface as a uniform "hgr: ..." diagnostic (failbit covers both)
+      // and trailing garbage is rejected instead of silently ignored.
+      std::istringstream weight_line(line);
+      long long w = 0;
+      weight_line >> w;
+      if (weight_line.fail() || w <= 0) {
+        throw std::runtime_error("hgr: bad node weight");
+      }
+      std::string junk;
+      if (weight_line >> junk) {
+        throw std::runtime_error("hgr: junk token after node weight");
+      }
       b.set_node_size(static_cast<NodeId>(u), w);
     }
   }

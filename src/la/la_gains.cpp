@@ -42,6 +42,26 @@ void LaGainCalculator::move_locked(NodeId u, int from_side) {
   }
 }
 
+void LaGainCalculator::audit_consistency() const {
+  const Hypergraph& g = part_->graph();
+  std::vector<std::uint32_t> free_recount(2 * g.num_nets(), 0);
+  std::vector<std::uint32_t> locked_recount(2 * g.num_nets(), 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const int s = part_->side(u);
+    for (const NetId n : g.nets_of(u)) {
+      ++(locked_[u] ? locked_recount : free_recount)[2 * n + s];
+    }
+  }
+  if (free_recount != free_count_) {
+    throw std::logic_error(
+        "LA audit: free-pin counts diverged from scratch recount");
+  }
+  if (locked_recount != locked_count_) {
+    throw std::logic_error(
+        "LA audit: locked-pin counts diverged from scratch recount");
+  }
+}
+
 GainVector LaGainCalculator::net_contribution(NetId n, NodeId v) const {
   const int a = part_->side(v);
   const int b = 1 - a;

@@ -52,6 +52,11 @@ class LaGainCalculator {
   /// this calculator was built on, in its current state.
   void reset();
 
+  /// Debug invariant audit: recounts the per-(net, side) free/locked pin
+  /// tables from the lock flags and the partition; throws std::logic_error
+  /// on any mismatch.  O(pins); used by LA's audit_interval mode.
+  void audit_consistency() const;
+
  private:
   std::uint32_t free_pins(NetId n, int s) const noexcept {
     return free_count_[2 * n + s];

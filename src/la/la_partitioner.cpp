@@ -1,12 +1,16 @@
 #include "la/la_partitioner.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <vector>
 
 #include "datastruct/avl_tree.h"
 #include "datastruct/gain_vector.h"
 #include "la/la_gains.h"
 #include "partition/initial.h"
+#include "telemetry/invariant_audit.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace prop {
 namespace {
@@ -15,9 +19,48 @@ constexpr double kEps = 1e-9;
 
 using GainTree = AvlTree<GainVector>;
 
+/// Debug audit (LaConfig::audit_interval): gain vectors are integral, so
+/// the incrementally-maintained vectors, the tree keys and the calculator's
+/// binding-number counts must all match a from-scratch recompute exactly.
+void la_audit(const Partition& part, const LaGainCalculator& calc,
+              const std::vector<GainVector>& gains, const GainTree& side0,
+              const GainTree& side1, const LaConfig& config,
+              PassStats* stats) {
+  audit::check_cut(part, config.audit_tolerance);
+  calc.audit_consistency();
+  audit::DriftTracker drift;
+  const NodeId n = part.graph().num_nodes();
+  for (NodeId v = 0; v < n; ++v) {
+    const GainTree& own = part.side(v) == 0 ? side0 : side1;
+    const GainTree& other = part.side(v) == 0 ? side1 : side0;
+    if (!calc.is_free(v)) {
+      audit::check_node(!side0.contains(v) && !side1.contains(v),
+                        "LA: locked node still in a gain tree", v);
+      continue;
+    }
+    audit::check_node(own.contains(v) && !other.contains(v),
+                      "LA: free node not in its side's gain tree", v);
+    audit::check_node(own.key(v) == gains[v],
+                      "LA: tree key out of sync with gains[]", v);
+    const GainVector scratch = calc.gain(v);
+    for (int level = 1; level <= scratch.levels(); ++level) {
+      drift.observe(v, gains[v].at(level), scratch.at(level));
+    }
+    audit::check_node(gains[v] == scratch,
+                      "LA: incremental gain vector != scratch recompute", v);
+  }
+  if (stats) {
+    ++stats->audits;
+    if (drift.max_abs > stats->max_gain_drift) {
+      stats->max_gain_drift = drift.max_abs;
+    }
+  }
+}
+
 /// One LA-k pass.  Returns the accepted prefix improvement.
 double la_pass(Partition& part, const BalanceConstraint& balance,
-               LaGainCalculator& calc, GainTree& side0, GainTree& side1) {
+               const LaConfig& config, LaGainCalculator& calc,
+               GainTree& side0, GainTree& side1, PassStats* stats) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
 
@@ -29,6 +72,7 @@ double la_pass(Partition& part, const BalanceConstraint& balance,
     gains[u] = calc.gain(u);
     (part.side(u) == 0 ? side0 : side1).insert(u, gains[u]);
   }
+  if (stats) stats->ops.inserts += n;
 
   // Scratch for per-move delta accumulation.
   std::vector<GainVector> delta(n);
@@ -83,6 +127,7 @@ double la_pass(Partition& part, const BalanceConstraint& balance,
     const int from = part.side(u);
     const double immediate = part.immediate_gain(u);
     (from == 0 ? side0 : side1).erase(u);
+    if (stats) ++stats->ops.erases;
 
     // Locking and moving u changes binding numbers only on u's nets; each
     // free pin of those nets gets the before/after delta of that net's O(1)
@@ -117,7 +162,10 @@ double la_pass(Partition& part, const BalanceConstraint& balance,
       if (delta[v].is_zero()) continue;  // contribution unchanged
       gains[v] += delta[v];
       GainTree& tree = part.side(v) == 0 ? side0 : side1;
-      if (tree.contains(v)) tree.update(v, gains[v]);
+      if (tree.contains(v)) {
+        tree.update(v, gains[v]);
+        if (stats) ++stats->ops.updates;
+      }
     }
 
     moved.push_back(u);
@@ -126,10 +174,20 @@ double la_pass(Partition& part, const BalanceConstraint& balance,
       best_prefix = prefix;
       best_count = moved.size();
     }
+
+    if (config.audit_interval > 0 &&
+        moved.size() % static_cast<std::size_t>(config.audit_interval) == 0) {
+      la_audit(part, calc, gains, side0, side1, config, stats);
+    }
   }
 
   for (std::size_t i = moved.size(); i > best_count; --i) {
     part.move(moved[i - 1]);
+  }
+  if (stats) {
+    stats->moves_attempted = moved.size();
+    stats->moves_accepted = best_count;
+    stats->best_prefix_gain = best_prefix;
   }
   return best_prefix;
 }
@@ -143,8 +201,20 @@ RefineOutcome la_refine(Partition& part, const BalanceConstraint& balance,
   GainTree side1(part.graph().num_nodes());
   RefineOutcome out;
   for (int pass = 0; pass < config.max_passes; ++pass) {
-    const double gained = la_pass(part, balance, calc, side0, side1);
+    PassStats* stats = nullptr;
+    WallTimer wall;
+    CpuTimer cpu;
+    if (config.telemetry) {
+      stats = &config.telemetry->begin_pass(part.cut_cost());
+    }
+    const double gained =
+        la_pass(part, balance, config, calc, side0, side1, stats);
     ++out.passes;
+    if (stats) {
+      stats->cut_after = part.cut_cost();
+      stats->wall_seconds = wall.seconds();
+      stats->cpu_seconds = cpu.seconds();
+    }
     if (gained <= kEps) break;
   }
   out.cut_cost = part.cut_cost();

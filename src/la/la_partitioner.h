@@ -8,6 +8,7 @@
 
 #include "partition/partition.h"
 #include "partition/partitioner.h"
+#include "telemetry/telemetry.h"
 
 namespace prop {
 
@@ -15,6 +16,16 @@ struct LaConfig {
   /// Lookahead depth k; the paper reports k = 2..4 as useful.
   int lookahead = 2;
   int max_passes = 64;
+
+  /// Opt-in per-pass trajectory recording; null records nothing.
+  RefineTelemetry* telemetry = nullptr;
+
+  /// Debug auditor cadence: every `audit_interval` moves the pass checks
+  /// incremental gain vectors, binding-number counts and cut cost against
+  /// a from-scratch recompute (throws std::logic_error on mismatch).
+  /// Gain vectors are integral, so the comparison is exact.  0 = off.
+  int audit_interval = 0;
+  double audit_tolerance = 1e-6;
 };
 
 /// Improves `part` in place with LA-k passes until no positive gain.
@@ -27,6 +38,11 @@ class LaPartitioner final : public Bipartitioner {
 
   std::string name() const override {
     return "LA-" + std::to_string(config_.lookahead);
+  }
+
+  bool attach_telemetry(RefineTelemetry* telemetry) noexcept override {
+    config_.telemetry = telemetry;
+    return true;
   }
 
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,

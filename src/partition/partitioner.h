@@ -12,6 +12,8 @@
 
 namespace prop {
 
+struct RefineTelemetry;  // telemetry/telemetry.h
+
 /// Outcome of an in-place refinement (fm_refine, la_refine, prop_refine).
 struct RefineOutcome {
   double cut_cost = 0.0;
@@ -39,6 +41,14 @@ class Bipartitioner {
   virtual PartitionResult run(const Hypergraph& g,
                               const BalanceConstraint& balance,
                               std::uint64_t seed) = 0;
+
+  /// Routes per-pass telemetry of subsequent run() calls into `telemetry`
+  /// (null detaches).  Returns false if the partitioner records none
+  /// (constructive methods); iterative refiners override and return true.
+  virtual bool attach_telemetry(RefineTelemetry* telemetry) noexcept {
+    (void)telemetry;
+    return false;
+  }
 };
 
 }  // namespace prop

@@ -1,27 +1,73 @@
 #include "partition/runner.h"
 
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/rng.h"
 
 namespace prop {
 
+std::uint64_t MultiRunResult::total_passes() const noexcept {
+  std::uint64_t total = 0;
+  for (const RunTelemetry& r : telemetry) total += r.refine.passes.size();
+  return total;
+}
+
+std::uint64_t MultiRunResult::total_moves_attempted() const noexcept {
+  std::uint64_t total = 0;
+  for (const RunTelemetry& r : telemetry) {
+    total += r.refine.total_moves_attempted();
+  }
+  return total;
+}
+
+std::uint64_t MultiRunResult::max_rollback_depth() const noexcept {
+  std::uint64_t best = 0;
+  for (const RunTelemetry& r : telemetry) {
+    if (r.refine.max_rollback_depth() > best) {
+      best = r.refine.max_rollback_depth();
+    }
+  }
+  return best;
+}
+
+double MultiRunResult::max_gain_drift() const noexcept {
+  double best = 0.0;
+  for (const RunTelemetry& r : telemetry) {
+    if (r.refine.max_gain_drift() > best) best = r.refine.max_gain_drift();
+  }
+  return best;
+}
+
 MultiRunResult run_many(Bipartitioner& partitioner, const Hypergraph& g,
                         const BalanceConstraint& balance, int runs,
-                        std::uint64_t base_seed) {
+                        std::uint64_t base_seed, const RunnerOptions& options) {
   if (runs <= 0) throw std::invalid_argument("run_many: runs must be positive");
   MultiRunResult out;
   out.cuts.reserve(static_cast<std::size_t>(runs));
   CpuTimer timer;
   for (int r = 0; r < runs; ++r) {
     const std::uint64_t seed = mix_seed(base_seed, static_cast<std::uint64_t>(r));
+    RunTelemetry run_telemetry;
+    run_telemetry.seed = seed;
+    const bool collecting =
+        options.collect_telemetry &&
+        partitioner.attach_telemetry(&run_telemetry.refine);
+    CpuTimer run_timer;
     PartitionResult result = partitioner.run(g, balance, seed);
+    run_telemetry.seconds = run_timer.seconds();
+    if (collecting) partitioner.attach_telemetry(nullptr);
     const ValidationReport report = validate_result(g, balance, result);
     if (!report.ok) {
       throw std::logic_error(partitioner.name() + " produced invalid result on " +
                              g.name() + ": " + report.message);
     }
     out.cuts.push_back(result.cut_cost);
+    if (collecting) {
+      run_telemetry.cut = result.cut_cost;
+      out.telemetry.push_back(std::move(run_telemetry));
+    }
     if (!out.best.valid() || result.cut_cost < out.best.cut_cost) {
       out.best = std::move(result);
     }
@@ -29,6 +75,22 @@ MultiRunResult run_many(Bipartitioner& partitioner, const Hypergraph& g,
   out.total_seconds = timer.seconds();
   out.seconds_per_run = out.total_seconds / runs;
   return out;
+}
+
+void write_stats_json(std::ostream& out, const std::string& circuit,
+                      const std::string& algo, const MultiRunResult& result) {
+  std::ostringstream best;
+  best.precision(17);
+  best << result.best_cut();
+  out << "{\"circuit\":\"" << circuit << "\",\"algo\":\"" << algo
+      << "\",\"best_cut\":" << best.str() << ",\"runs\":[";
+  bool first = true;
+  for (const RunTelemetry& r : result.telemetry) {
+    if (!first) out << ",";
+    first = false;
+    write_json(out, r);
+  }
+  out << "]}";
 }
 
 }  // namespace prop

@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "partition/partitioner.h"
 #include "partition/validate.h"
+#include "telemetry/telemetry.h"
 #include "util/timer.h"
 
 namespace prop {
@@ -18,6 +21,11 @@ struct MultiRunResult {
   double total_seconds = 0.0;  ///< CPU time over all runs
   double seconds_per_run = 0.0;
 
+  /// One entry per run when RunnerOptions::collect_telemetry was set and
+  /// the partitioner supports it (attach_telemetry returns true); empty
+  /// otherwise.
+  std::vector<RunTelemetry> telemetry;
+
   double best_cut() const noexcept { return best.cut_cost; }
   double mean_cut() const noexcept {
     if (cuts.empty()) return 0.0;
@@ -25,6 +33,18 @@ struct MultiRunResult {
     for (const double c : cuts) s += c;
     return s / static_cast<double>(cuts.size());
   }
+
+  // Trajectory aggregates over all collected runs (zero when telemetry is
+  // empty).
+  std::uint64_t total_passes() const noexcept;
+  std::uint64_t total_moves_attempted() const noexcept;
+  std::uint64_t max_rollback_depth() const noexcept;
+  double max_gain_drift() const noexcept;
+};
+
+struct RunnerOptions {
+  /// Record a RunTelemetry per run into MultiRunResult::telemetry.
+  bool collect_telemetry = false;
 };
 
 /// Runs `partitioner` `runs` times with seeds derived from `base_seed`,
@@ -32,6 +52,13 @@ struct MultiRunResult {
 /// and keeps the best.
 MultiRunResult run_many(Bipartitioner& partitioner, const Hypergraph& g,
                         const BalanceConstraint& balance, int runs,
-                        std::uint64_t base_seed);
+                        std::uint64_t base_seed,
+                        const RunnerOptions& options = {});
+
+/// Dumps a multi-run trajectory as one JSON object:
+///   {"circuit": ..., "algo": ..., "best_cut": ..., "runs": [...]}
+/// (the per-run / per-pass schema is documented in EXPERIMENTS.md).
+void write_stats_json(std::ostream& out, const std::string& circuit,
+                      const std::string& algo, const MultiRunResult& result);
 
 }  // namespace prop

@@ -33,23 +33,50 @@ TEST(HgrIo, ReadsWeightedNodes) {
   EXPECT_EQ(g.node_size(2), 6);
 }
 
-TEST(HgrIo, RejectsMalformed) {
-  {
-    std::istringstream in("");
-    EXPECT_THROW(read_hgr(in), std::runtime_error);
+/// Every rejection must be a std::runtime_error whose message carries the
+/// uniform "hgr:" prefix, so CLI users see which input file is at fault
+/// rather than a raw stoll/terminate diagnostic.
+void expect_hgr_error(const std::string& text, const std::string& label) {
+  std::istringstream in(text);
+  try {
+    read_hgr(in);
+    FAIL() << label << ": expected read_hgr to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("hgr:", 0), 0u)
+        << label << ": message lacks 'hgr:' prefix: " << e.what();
+  } catch (...) {
+    FAIL() << label << ": wrong exception type (not std::runtime_error)";
   }
-  {
-    std::istringstream in("2 3\n1 2\n");  // truncated
-    EXPECT_THROW(read_hgr(in), std::runtime_error);
-  }
-  {
-    std::istringstream in("1 2\n1 5\n");  // pin out of range
-    EXPECT_THROW(read_hgr(in), std::runtime_error);
-  }
-  {
-    std::istringstream in("1 2 7\n1 2\n");  // bad fmt
-    EXPECT_THROW(read_hgr(in), std::runtime_error);
-  }
+}
+
+TEST(HgrIo, RejectsMalformedCorpus) {
+  expect_hgr_error("", "empty input");
+  expect_hgr_error("% only a comment\n", "comment-only input");
+  expect_hgr_error("nets nodes\n", "non-numeric header");
+  expect_hgr_error("-1 4\n", "negative net count");
+  expect_hgr_error("2 -4\n", "negative node count");
+  expect_hgr_error("2 4 1 extra\n1 2\n3 4\n", "header trailing junk");
+  expect_hgr_error("2 4 x\n1 2\n3 4\n", "non-numeric fmt");
+  expect_hgr_error("1 2 7\n1 2\n", "unknown fmt code");
+  expect_hgr_error("2 3\n1 2\n", "truncated net list");
+  expect_hgr_error("1 3 1\nbad 1 2\n", "non-numeric net weight");
+  expect_hgr_error("1 3 1\n-2 1 2\n", "negative net weight");
+  expect_hgr_error("1 3 1\n0 1 2\n", "zero net weight");
+  expect_hgr_error("1 2\n1 5\n", "pin out of range (high)");
+  expect_hgr_error("1 2\n0 1\n", "pin out of range (zero)");
+  expect_hgr_error("1 2\n-3 1\n", "negative pin id");
+  expect_hgr_error("1 3\n1 2 oops\n", "junk token in net line");
+  expect_hgr_error("1 3 1\n2.5\n", "net with weight but no pins");
+}
+
+TEST(HgrIo, RejectsMalformedNodeWeights) {
+  expect_hgr_error("1 3 10\n1 2 3\n4\n5\n", "truncated node weights");
+  expect_hgr_error("1 3 10\n1 2 3\nfour\n5\n6\n", "non-numeric node weight");
+  expect_hgr_error("1 3 10\n1 2 3\n4\n99999999999999999999999\n6\n",
+                   "overflowing node weight");
+  expect_hgr_error("1 3 10\n1 2 3\n4\n0\n6\n", "zero node weight");
+  expect_hgr_error("1 3 10\n1 2 3\n4\n-5\n6\n", "negative node weight");
+  expect_hgr_error("1 3 10\n1 2 3\n4\n5 junk\n6\n", "junk after node weight");
 }
 
 TEST(HgrIo, RoundTripPlain) {

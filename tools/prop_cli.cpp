@@ -4,10 +4,15 @@
 //            --seed 1 --out parts.txt
 //   prop_cli --circuit industry2 --algo fm --runs 100
 //   prop_cli --circuit p2 --algo prop --k 8            # recursive k-way
+//   prop_cli --circuit balu --algo prop --stats-json stats.json
 //   prop_cli --list                                    # bundled circuits
 //
 // Algorithms: fm, fm-tree, la2, la3, kl, prop, eig1, melo, paraboli, window.
 // Output file format: one 0/1 (or part id for k-way) per line, node order.
+// --stats-json FILE records per-pass refinement telemetry (cut trajectory,
+// moves, rollback depth, seconds, container ops) for every run and dumps it
+// as JSON; supported by the iterative refiners (fm, fm-tree, la2, la3,
+// prop).  See EXPERIMENTS.md for the schema.
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -52,7 +57,7 @@ int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--hgr FILE | --circuit NAME] [--algo NAME]\n"
                "          [--runs N] [--balance 50-50|45-55] [--k K]\n"
-               "          [--seed N] [--out FILE] [--list]\n"
+               "          [--seed N] [--out FILE] [--stats-json FILE] [--list]\n"
                "algorithms: fm fm-tree la2 la3 kl prop eig1 melo paraboli window\n",
                prog);
   return 2;
@@ -114,7 +119,11 @@ int main(int argc, char** argv) {
         args.get_or("balance", "45-55") == "50-50"
             ? prop::BalanceConstraint::fifty_fifty(g)
             : prop::BalanceConstraint::forty_five(g);
-    const prop::MultiRunResult r = prop::run_many(*algo, g, balance, runs, seed);
+    const auto stats_json = args.get("stats-json");
+    prop::RunnerOptions options;
+    options.collect_telemetry = stats_json.has_value();
+    const prop::MultiRunResult r =
+        prop::run_many(*algo, g, balance, runs, seed, options);
 
     const prop::Partition part(g, r.best.side);
     const prop::PartitionMetrics m = prop::compute_metrics(part);
@@ -124,6 +133,25 @@ int main(int argc, char** argv) {
     std::printf("sizes %lld | %lld   ratio-cut %.3g   absorption %.1f\n",
                 static_cast<long long>(m.size0), static_cast<long long>(m.size1),
                 m.ratio_cut, m.absorption);
+    if (stats_json) {
+      if (r.telemetry.empty()) {
+        std::fprintf(stderr, "warning: %s records no refinement telemetry\n",
+                     algo->name().c_str());
+      } else {
+        std::printf("telemetry: %llu passes, %llu moves, max rollback %llu\n",
+                    static_cast<unsigned long long>(r.total_passes()),
+                    static_cast<unsigned long long>(r.total_moves_attempted()),
+                    static_cast<unsigned long long>(r.max_rollback_depth()));
+      }
+      std::ofstream f(*stats_json);
+      if (!f) {
+        std::fprintf(stderr, "error: cannot write %s\n", stats_json->c_str());
+        return 1;
+      }
+      prop::write_stats_json(f, g.name(), algo->name(), r);
+      f << '\n';
+      std::printf("wrote %s\n", stats_json->c_str());
+    }
     if (const auto out = args.get("out")) {
       std::ofstream f(*out);
       for (const auto side : r.best.side) f << static_cast<int>(side) << '\n';
