@@ -63,6 +63,17 @@ std::vector<Variant> variants() {
 
 int main(int argc, char** argv) {
   prop::CliArgs args(argc, argv);
+  if (!prop::bench::check_flags(
+          args, {"fast", "circuit", "runs", "seed"},
+          "[--fast] [--circuit NAME] [--runs N] [--seed N]\n"
+          "          [--time-budget-ms N] [--on-timeout=best|fail] "
+          "[--inject=SPEC] [--inject-seed N]")) {
+    return 2;
+  }
+  prop::RuntimeSession session(args);
+  prop::RunnerOptions options;
+  options.context = session.context();
+  prop::bench::OutcomeTracker tracker;
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int runs = static_cast<int>(args.get_int_or("runs", 10));
 
@@ -91,13 +102,14 @@ int main(int argc, char** argv) {
       const prop::BalanceConstraint balance =
           prop::BalanceConstraint::fifty_fifty(g);
       prop::PropPartitioner algo(variant.config);
-      const double cut =
-          prop::run_many(algo, g, balance, runs, prop::mix_seed(seed, 99))
-              .best_cut();
+      const prop::MultiRunResult r =
+          prop::run_many(algo, g, balance, runs, prop::mix_seed(seed, 99), options);
+      tracker.observe(r);
+      const double cut = r.best_cut();
       total += cut;
       std::printf(" %10.0f", cut);
     }
     std::printf(" %10.0f\n", total);
   }
-  return 0;
+  return tracker.finish(session);
 }

@@ -6,10 +6,45 @@
 #include <vector>
 
 #include "hypergraph/mcnc_suite.h"
+#include "partition/runner.h"
+#include "runtime/runtime_cli.h"
 #include "util/cli.h"
 #include "util/rng.h"
 
 namespace prop::bench {
+
+/// Unknown-flag gate shared by every bench binary: the bench's own flags
+/// plus the uniform runtime flags (--time-budget-ms etc.).  Returns false
+/// (after printing the usage line) when an unrecognized flag was passed.
+inline bool check_flags(const CliArgs& args, std::vector<std::string> known,
+                        const std::string& usage) {
+  for (const auto& name : runtime_flag_names()) known.push_back(name);
+  return validate_flags(args, known, usage);
+}
+
+/// Collects the first non-ok multi-run status so a bench can finish its
+/// table and still report (and exit on) an exhausted budget at the end.
+class OutcomeTracker {
+ public:
+  void observe(const MultiRunResult& r) {
+    if (status_.ok() && !r.status.ok()) status_ = r.status;
+  }
+
+  /// Prints degradations / the early-stop outcome; returns the process exit
+  /// code (nonzero only under --on-timeout=fail).
+  int finish(const RuntimeSession& session) const {
+    const std::string notes = describe_degradations(session.degradations());
+    if (!notes.empty()) std::fputs(notes.c_str(), stderr);
+    if (!status_.ok()) {
+      std::printf("outcome: %s\n", status_.describe().c_str());
+      if (session.fail_on_timeout()) return 3;
+    }
+    return 0;
+  }
+
+ private:
+  Status status_;
+};
 
 /// Paper-style improvement percentage: (cut improvement / larger cutset) * 100.
 inline double improvement_pct(double ours, double theirs) {

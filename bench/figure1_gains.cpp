@@ -16,6 +16,7 @@
 #include "fm/fm_gains.h"
 #include "la/la_gains.h"
 #include "partition/partition.h"
+#include "util/cli.h"
 
 namespace {
 
@@ -23,7 +24,9 @@ bool close(double a, double b) { return std::abs(a - b) < 1e-9; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const prop::CliArgs args(argc, argv);
+  if (!prop::validate_flags(args, {}, "(no flags)")) return 2;
   const prop::Figure1Example ex = prop::make_figure1_example();
   const prop::Partition part(ex.graph, ex.side);
   bool ok = true;

@@ -19,6 +19,16 @@
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::bench::check_flags(
+          args, {"fast", "runs", "seed", "audit-interval", "resync-interval"},
+          "[--fast] [--runs N] [--seed N] [--audit-interval N] "
+          "[--resync-interval N]\n"
+          "          [--time-budget-ms N] [--on-timeout=best|fail] "
+          "[--inject=SPEC] [--inject-seed N]")) {
+    return 2;
+  }
+  prop::RuntimeSession session(args);
+  prop::bench::OutcomeTracker tracker;
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int runs = static_cast<int>(args.get_int_or("runs", 5));
   const int audit = static_cast<int>(args.get_int_or("audit-interval", 4));
@@ -52,18 +62,21 @@ int main(int argc, char** argv) {
         prop::BalanceConstraint::forty_five(g);
     prop::RunnerOptions options;
     options.collect_telemetry = true;
+    options.context = session.context();
 
     prop::PropConfig raw;
     raw.audit_interval = audit;
     prop::PropPartitioner plain(raw);
     const prop::MultiRunResult none =
         prop::run_many(plain, g, balance, runs, seed, options);
+    tracker.observe(none);
 
     prop::PropConfig bounded = raw;
     bounded.resync_interval = resync;
     prop::PropPartitioner synced(bounded);
     const prop::MultiRunResult sync =
         prop::run_many(synced, g, balance, runs, seed, options);
+    tracker.observe(sync);
 
     std::printf("%-8s %8u %8u | %14.6g %14.6g | %6.0f /%6.0f\n", s.name,
                 g.num_nodes(), g.num_nets(), none.max_gain_drift(),
@@ -77,5 +90,5 @@ int main(int argc, char** argv) {
       "every %d moves (the auditor additionally hard-asserts exactness to\n"
       "1e-6 immediately after each resync).\n",
       resync);
-  return 0;
+  return tracker.finish(session);
 }

@@ -12,6 +12,10 @@
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::validate_flags(args, {"fast", "circuit", "seed"},
+                            "[--fast] [--circuit NAME] [--seed N]")) {
+    return 2;
+  }
   const auto seed = static_cast<std::uint64_t>(
       args.get_int_or("seed", static_cast<std::int64_t>(prop::kSuiteSeed)));
 

@@ -35,6 +35,17 @@ double best_prefix(const std::vector<double>& cuts, std::size_t count) {
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::bench::check_flags(
+          args, {"fast", "circuit", "runs-scale", "seed"},
+          "[--fast] [--circuit NAME] [--runs-scale S] [--seed N]\n"
+          "          [--time-budget-ms N] [--on-timeout=best|fail] "
+          "[--inject=SPEC] [--inject-seed N]")) {
+    return 2;
+  }
+  prop::RuntimeSession session(args);
+  prop::RunnerOptions options;
+  options.context = session.context();
+  prop::bench::OutcomeTracker tracker;
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int fm_runs = prop::bench::scaled_runs(args, 100);
   const int la_runs = prop::bench::scaled_runs(args, 20);
@@ -60,7 +71,8 @@ int main(int argc, char** argv) {
 
     prop::FmPartitioner fm;
     const prop::MultiRunResult fm_sweep =
-        prop::run_many(fm, g, balance, fm_runs, prop::mix_seed(seed, 0));
+        prop::run_many(fm, g, balance, fm_runs, prop::mix_seed(seed, 0), options);
+    tracker.observe(fm_sweep);
     const double fm100 = best_prefix(fm_sweep.cuts, fm_sweep.cuts.size());
     const double fm40 = best_prefix(
         fm_sweep.cuts, std::max<std::size_t>(fm_sweep.cuts.size() * 2 / 5, 1));
@@ -69,25 +81,29 @@ int main(int argc, char** argv) {
 
     prop::LaPartitioner la2({2});
     prop::LaPartitioner la3({3});
-    const prop::MultiRunResult la2_sweep =
-        prop::run_many(la2, g, balance, la2x_runs, prop::mix_seed(seed, 1));
+    const prop::MultiRunResult la2_sweep = prop::run_many(
+        la2, g, balance, la2x_runs, prop::mix_seed(seed, 1), options);
+    tracker.observe(la2_sweep);
     const double la2_cut = best_prefix(
         la2_sweep.cuts,
         std::min<std::size_t>(la2_sweep.cuts.size(),
                               static_cast<std::size_t>(la_runs)));
     const double la2x40_cut = best_prefix(la2_sweep.cuts, la2_sweep.cuts.size());
-    const double la3_cut =
-        prop::run_many(la3, g, balance, la_runs, prop::mix_seed(seed, 2))
-            .best_cut();
+    const prop::MultiRunResult la3_sweep = prop::run_many(
+        la3, g, balance, la_runs, prop::mix_seed(seed, 2), options);
+    tracker.observe(la3_sweep);
+    const double la3_cut = la3_sweep.best_cut();
 
     prop::WindowPartitioner window;
+    if (session.context()) window.attach_context(session.context());
     const double win_cut =
         window.run(g, balance, prop::mix_seed(seed, 3)).cut_cost;
 
     prop::PropPartitioner prop_algo;
-    const double prop_cut =
-        prop::run_many(prop_algo, g, balance, prop_runs, prop::mix_seed(seed, 4))
-            .best_cut();
+    const prop::MultiRunResult prop_sweep = prop::run_many(
+        prop_algo, g, balance, prop_runs, prop::mix_seed(seed, 4), options);
+    tracker.observe(prop_sweep);
+    const double prop_cut = prop_sweep.best_cut();
 
     tot_fm100 += fm100;
     tot_fm40 += fm40;
@@ -120,5 +136,5 @@ int main(int argc, char** argv) {
               prop::bench::improvement_pct(tot_prop, tot_la2x40));
   std::printf("(paper: PROP 30%% over FM20, 22.3%% over FM100, 27.3%% over "
               "LA-2, 16.6%% over LA-3, 25.9%% over WINDOW)\n");
-  return 0;
+  return tracker.finish(session);
 }

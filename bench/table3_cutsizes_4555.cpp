@@ -16,6 +16,17 @@
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::bench::check_flags(
+          args, {"fast", "circuit", "runs-scale", "seed"},
+          "[--fast] [--circuit NAME] [--runs-scale S] [--seed N]\n"
+          "          [--time-budget-ms N] [--on-timeout=best|fail] "
+          "[--inject=SPEC] [--inject-seed N]")) {
+    return 2;
+  }
+  prop::RuntimeSession session(args);
+  prop::RunnerOptions options;
+  options.context = session.context();
+  prop::bench::OutcomeTracker tracker;
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int prop_runs = prop::bench::scaled_runs(args, 20);
 
@@ -36,14 +47,20 @@ int main(int argc, char** argv) {
     prop::ParaboliPartitioner paraboli;
     prop::Eig1Partitioner eig1;
     prop::PropPartitioner prop_algo;
+    if (session.context()) {
+      melo.attach_context(session.context());
+      paraboli.attach_context(session.context());
+      eig1.attach_context(session.context());
+    }
 
     const double melo_cut = melo.run(g, balance, prop::mix_seed(seed, 10)).cut_cost;
     const double para_cut =
         paraboli.run(g, balance, prop::mix_seed(seed, 11)).cut_cost;
     const double eig_cut = eig1.run(g, balance, prop::mix_seed(seed, 12)).cut_cost;
-    const double prop_cut =
-        prop::run_many(prop_algo, g, balance, prop_runs, prop::mix_seed(seed, 13))
-            .best_cut();
+    const prop::MultiRunResult prop_sweep = prop::run_many(
+        prop_algo, g, balance, prop_runs, prop::mix_seed(seed, 13), options);
+    tracker.observe(prop_sweep);
+    const double prop_cut = prop_sweep.best_cut();
 
     tot_melo += melo_cut;
     tot_para += para_cut;
@@ -64,5 +81,5 @@ int main(int argc, char** argv) {
               prop::bench::improvement_pct(tot_prop, tot_eig));
   std::printf("\n(paper: PROP 19.9%% over MELO, 15.0%% over PARABOLI, 57.1%% "
               "over EIG1)\n");
-  return 0;
+  return tracker.finish(session);
 }

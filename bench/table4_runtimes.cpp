@@ -27,11 +27,22 @@
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::bench::check_flags(
+          args, {"fast", "circuit", "reps", "seed", "stats-json"},
+          "[--fast] [--circuit NAME] [--reps N] [--seed N] "
+          "[--stats-json FILE]\n"
+          "          [--time-budget-ms N] [--on-timeout=best|fail] "
+          "[--inject=SPEC] [--inject-seed N]")) {
+    return 2;
+  }
+  prop::RuntimeSession session(args);
+  prop::bench::OutcomeTracker tracker;
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int reps = static_cast<int>(args.get_int_or("reps", 3));
   const auto stats_json = args.get("stats-json");
   prop::RunnerOptions options;
   options.collect_telemetry = stats_json.has_value();
+  options.context = session.context();
   std::ofstream stats_out;
   if (stats_json) {
     stats_out.open(*stats_json);
@@ -78,6 +89,7 @@ int main(int argc, char** argv) {
     for (auto& m : methods) {
       const prop::MultiRunResult r = prop::run_many(
           *m.algo, g, balance, reps, prop::mix_seed(seed, 7), options);
+      tracker.observe(r);
       m.total += r.seconds_per_run * m.paper_runs;
       std::printf(" %9.4f", r.seconds_per_run);
       if (stats_json && !r.telemetry.empty()) {
@@ -101,5 +113,5 @@ int main(int argc, char** argv) {
   std::printf("\nkey ratios — paper: PROP ~4.6x FM-bucket per run; FM-tree "
               "~2-3x FM-bucket;\nPROP total comparable to FM100-bucket and "
               "LA-2(x40), much cheaper than MELO/PARABOLI.\n");
-  return 0;
+  return tracker.finish(session);
 }

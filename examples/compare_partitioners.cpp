@@ -21,6 +21,11 @@
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::validate_flags(
+          args, {"circuit", "runs", "balance"},
+          "[--circuit NAME] [--runs N] [--balance 50-50|45-55]")) {
+    return 2;
+  }
   const prop::Hypergraph g =
       prop::make_mcnc_circuit(args.get_or("circuit", "struct"));
   const int runs = static_cast<int>(args.get_int_or("runs", 10));

@@ -15,6 +15,12 @@
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::validate_flags(
+          args, {"hgr", "circuit", "runs", "seed", "balance"},
+          "[--circuit NAME | --hgr FILE] [--runs N] [--seed N] "
+          "[--balance 45-55|50-50]")) {
+    return 2;
+  }
 
   // 1. Get a netlist: a bundled Table 1 stand-in, or any hMETIS .hgr file.
   prop::Hypergraph circuit;

@@ -19,6 +19,11 @@
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::validate_flags(
+          args, {"circuit", "k", "seed", "tolerance"},
+          "[--circuit NAME] [--k K] [--seed N] [--tolerance T]")) {
+    return 2;
+  }
   const prop::Hypergraph g =
       prop::make_mcnc_circuit(args.get_or("circuit", "p2"));
   const auto k = static_cast<prop::NodeId>(args.get_int_or("k", 8));

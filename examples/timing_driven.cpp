@@ -42,6 +42,11 @@ CutSummary summarize(const prop::Hypergraph& g, const prop::TimingAnalysis& sta,
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+  if (!prop::validate_flags(
+          args, {"circuit", "alpha", "runs", "seed"},
+          "[--circuit NAME] [--alpha A] [--runs N] [--seed N]")) {
+    return 2;
+  }
   const prop::Hypergraph g =
       prop::make_mcnc_circuit(args.get_or("circuit", "t5"));
   const double alpha = args.get_double_or("alpha", 4.0);

@@ -24,4 +24,18 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
 
+# The fault-injection suite gets a dedicated sanitizer pass: degradation
+# paths (eigensolver stalls, mid-pass cancellation, FM fallback) are exactly
+# where stale pointers and half-updated state would hide, so run them under
+# ASan+UBSan explicitly even though the full pass above includes them.
+echo "== fault-injection suite (asan+ubsan) =="
+ctest --preset asan-ubsan -j "$jobs" \
+  -R 'RuntimeRobustness|FaultInjector|Deadline|CancelToken|Status'
+
+echo "== budgeted-run smoke (asan+ubsan) =="
+./build-asan/tools/prop_cli --circuit t4 --algo prop --runs 3 \
+  --time-budget-ms 1 --on-timeout=best > /dev/null
+./build-asan/tools/prop_cli --circuit t4 --algo eig1 --runs 1 \
+  --inject=lanczos-stall > /dev/null
+
 echo "== verify OK =="

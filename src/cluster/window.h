@@ -31,6 +31,13 @@ class WindowPartitioner final : public Bipartitioner {
 
   std::string name() const override { return "WINDOW"; }
 
+  bool attach_context(const RunContext* context) noexcept override {
+    // Both the coarse multi-start FM and the flat refinement phase run
+    // through config_.fm, so the one pointer covers the whole pipeline.
+    config_.fm.context = context;
+    return true;
+  }
+
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 

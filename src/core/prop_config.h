@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/probability_model.h"
+#include "runtime/run_context.h"
 #include "telemetry/telemetry.h"
 
 namespace prop {
@@ -50,6 +51,24 @@ struct PropConfig {
   /// from scratch (probabilities are left to the normal per-move updates),
   /// bounding incremental drift.  0 = off (the paper's plain scheme).
   int resync_interval = 0;
+
+  /// Optional runtime context: the move loop polls for deadline expiry /
+  /// injected cancellation (stopping mid-pass with the usual best-prefix
+  /// rollback), and the prop-drift fault site can force the degradation
+  /// chain below.  Null = inert.
+  const RunContext* context = nullptr;
+
+  /// Degradation chain for probabilistic-gain drift.  When an audit
+  /// observes max |incremental - scratch| drift above this bound (or the
+  /// prop-drift fault fires), the pass performs an *emergency resync* of
+  /// gains[] — the same sweep as resync_interval, just demand-driven.
+  /// After `max_emergency_resyncs` of those in one refine call the
+  /// probabilistic bookkeeping is deemed untrustworthy: the current pass is
+  /// rolled back to its best prefix and refinement finishes with
+  /// deterministic FM passes instead.  <= 0 disables the drift check
+  /// (injection still works).
+  double drift_hard_bound = 1e-3;
+  int max_emergency_resyncs = 3;
 };
 
 }  // namespace prop

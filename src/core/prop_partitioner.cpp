@@ -1,10 +1,12 @@
 #include "core/prop_partitioner.h"
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "core/prob_gain.h"
 #include "datastruct/avl_tree.h"
+#include "fm/fm_partitioner.h"
 #include "partition/initial.h"
 #include "telemetry/invariant_audit.h"
 #include "util/rng.h"
@@ -90,10 +92,11 @@ void resync_gains(const Partition& part, const ProbGainCalculator& calc,
 /// hard-asserted only when `expect_scratch_match` is set (right after a
 /// resync): in between, gains[] is stale w.r.t. later probability updates
 /// of neighboring nodes *by design* (the paper's Sec. 3.4 update policy).
-void prop_audit(const Partition& part, const ProbGainCalculator& calc,
-                const std::vector<double>& gains, const GainTree& side0,
-                const GainTree& side1, const PropConfig& config,
-                PassStats* stats, bool expect_scratch_match) {
+/// Returns the max absolute drift observed (feeds the degradation chain).
+double prop_audit(const Partition& part, const ProbGainCalculator& calc,
+                  const std::vector<double>& gains, const GainTree& side0,
+                  const GainTree& side1, const PropConfig& config,
+                  PassStats* stats, bool expect_scratch_match) {
   audit::check_cut(part, config.audit_tolerance);
   calc.audit_consistency();
   audit::DriftTracker drift;
@@ -123,12 +126,21 @@ void prop_audit(const Partition& part, const ProbGainCalculator& calc,
       stats->max_gain_drift = drift.max_abs;
     }
   }
+  return drift.max_abs;
 }
+
+/// Cross-pass state of one prop_refine call's degradation chain.
+struct PassControl {
+  bool interrupted = false;     ///< deadline/cancel stopped the pass
+  bool fallback_to_fm = false;  ///< drift chain exhausted; switch engines
+  int emergency_resyncs = 0;    ///< accumulated over the whole refine call
+};
 
 /// One PROP pass (steps 3-10 of Fig. 2).  Returns the accepted improvement.
 double prop_pass(Partition& part, const BalanceConstraint& balance,
                  const PropConfig& config, ProbGainCalculator& calc,
-                 GainTree& side0, GainTree& side1, PassStats* stats) {
+                 GainTree& side0, GainTree& side1, PassStats* stats,
+                 PassControl& control) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
 
@@ -177,7 +189,13 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
   std::vector<std::uint32_t> visit_stamp(n, 0);
   std::uint32_t stamp = 0;
 
+  const RunContext* ctx = config.context;
+
   while (true) {
+    if (ctx && ctx->refine_should_stop()) {
+      control.interrupted = true;
+      break;
+    }
     // Step 6: best-gain node in either subset whose move keeps balance.
     const auto h0 = side0.empty() ? GainTree::kNull : best_feasible(side0, 0);
     const auto h1 = side1.empty() ? GainTree::kNull : best_feasible(side1, 1);
@@ -267,10 +285,11 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
     const bool resync_due =
         config.resync_interval > 0 &&
         moved.size() % static_cast<std::size_t>(config.resync_interval) == 0;
+    double observed_drift = 0.0;
     if (audit_due) {
       // Records the accumulated drift since the last resync (or pass start).
-      prop_audit(part, calc, gains, side0, side1, config, stats,
-                 /*expect_scratch_match=*/false);
+      observed_drift = prop_audit(part, calc, gains, side0, side1, config,
+                                  stats, /*expect_scratch_match=*/false);
     }
     if (resync_due) {
       resync_gains(part, calc, gains, side0, side1, stats);
@@ -278,6 +297,35 @@ double prop_pass(Partition& part, const BalanceConstraint& balance,
         // Post-resync, gains[] must equal the scratch recompute exactly.
         prop_audit(part, calc, gains, side0, side1, config, stats,
                    /*expect_scratch_match=*/true);
+      }
+    }
+
+    // Degradation chain: drift beyond the hard bound (or an injected
+    // prop-drift fault) means the incremental probabilistic bookkeeping is
+    // diverging.  First line of defense is an emergency resync — the same
+    // sweep as resync_interval, just demand-driven; past
+    // max_emergency_resyncs the engine gives up on probabilistic gains and
+    // requests the deterministic-FM fallback.
+    bool drift_blowup = config.drift_hard_bound > 0 &&
+                        observed_drift > config.drift_hard_bound;
+    if (ctx && ctx->inject(FaultSite::kPropDrift)) drift_blowup = true;
+    if (drift_blowup) {
+      ++control.emergency_resyncs;
+      if (control.emergency_resyncs > config.max_emergency_resyncs) {
+        control.fallback_to_fm = true;
+        if (ctx) {
+          ctx->degrade("prop.gain-drift", "fm-fallback",
+                       std::to_string(control.emergency_resyncs - 1) +
+                           " emergency resyncs did not hold; finishing with "
+                           "deterministic FM gains");
+        }
+        break;  // roll back to the best prefix, then switch engines
+      }
+      resync_gains(part, calc, gains, side0, side1, stats);
+      if (ctx) {
+        ctx->degrade("prop.gain-drift", "resync",
+                     "drift " + std::to_string(observed_drift) + " at move " +
+                         std::to_string(moved.size()));
       }
     }
   }
@@ -303,6 +351,7 @@ RefineOutcome prop_refine(Partition& part, const BalanceConstraint& balance,
   GainTree side0(part.graph().num_nodes());
   GainTree side1(part.graph().num_nodes());
   RefineOutcome out;
+  PassControl control;
   for (int pass = 0; pass < config.max_passes; ++pass) {
     PassStats* stats = nullptr;
     WallTimer wall;
@@ -311,14 +360,31 @@ RefineOutcome prop_refine(Partition& part, const BalanceConstraint& balance,
       stats = &config.telemetry->begin_pass(part.cut_cost());
     }
     const double gained =
-        prop_pass(part, balance, config, calc, side0, side1, stats);
+        prop_pass(part, balance, config, calc, side0, side1, stats, control);
     ++out.passes;
     if (stats) {
       stats->cut_after = part.cut_cost();
       stats->wall_seconds = wall.seconds();
       stats->cpu_seconds = cpu.seconds();
     }
-    if (gained <= kEps) break;
+    if (control.interrupted) {
+      out.interrupted = true;
+      break;
+    }
+    if (control.fallback_to_fm || gained <= kEps) break;
+  }
+  if (control.fallback_to_fm && !out.interrupted) {
+    // Last link of the degradation chain: finish with deterministic FM
+    // gains — the exact incremental engine of the family — so the run still
+    // converges to a locally-optimal cut.  Telemetry and the runtime
+    // context carry over (FM passes append to the same trajectory).
+    FmConfig fm;
+    fm.max_passes = config.max_passes;
+    fm.telemetry = config.telemetry;
+    fm.context = config.context;
+    const RefineOutcome fm_out = fm_refine(part, balance, fm);
+    out.passes += fm_out.passes;
+    out.interrupted = fm_out.interrupted;
   }
   out.cut_cost = part.cut_cost();
   return out;

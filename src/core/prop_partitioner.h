@@ -33,6 +33,11 @@ class PropPartitioner final : public Bipartitioner {
     return true;
   }
 
+  bool attach_context(const RunContext* context) noexcept override {
+    config_.context = context;
+    return true;
+  }
+
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 

@@ -114,11 +114,13 @@ void fm_audit(const Partition& part, const std::vector<std::uint8_t>& locked,
 }
 
 /// One FM pass: virtually move everything, roll back to the best prefix.
-/// Returns the accepted (positive part of the) improvement.
+/// Returns the accepted (positive part of the) improvement.  Sets
+/// `interrupted` when a deadline/cancellation cut the pass short (the
+/// rollback to the best prefix still runs, so the partition stays valid).
 template <typename Container>
 double fm_pass(Partition& part, const BalanceConstraint& balance,
                const FmConfig& config, Container& side0, Container& side1,
-               PassStats* stats) {
+               PassStats* stats, bool& interrupted) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
 
@@ -156,6 +158,10 @@ double fm_pass(Partition& part, const BalanceConstraint& balance,
   };
 
   while (true) {
+    if (config.context && config.context->refine_should_stop()) {
+      interrupted = true;
+      break;
+    }
     const NodeId h0 = candidate(side0, 0);
     const NodeId h1 = candidate(side1, 1);
     if (h0 == Container::kNull && h1 == Container::kNull) break;
@@ -225,12 +231,18 @@ RefineOutcome refine_with(Partition& part, const BalanceConstraint& balance,
     if (config.telemetry) {
       stats = &config.telemetry->begin_pass(part.cut_cost());
     }
-    const double gained = fm_pass(part, balance, config, side0, side1, stats);
+    bool interrupted = false;
+    const double gained =
+        fm_pass(part, balance, config, side0, side1, stats, interrupted);
     ++out.passes;
     if (stats) {
       stats->cut_after = part.cut_cost();
       stats->wall_seconds = wall.seconds();
       stats->cpu_seconds = cpu.seconds();
+    }
+    if (interrupted) {
+      out.interrupted = true;
+      break;
     }
     if (gained <= kEps) break;
   }

@@ -16,6 +16,7 @@
 
 #include "partition/partition.h"
 #include "partition/partitioner.h"
+#include "runtime/run_context.h"
 #include "telemetry/telemetry.h"
 #include "util/rng.h"
 
@@ -30,6 +31,11 @@ struct FmConfig {
 
   /// Opt-in per-pass trajectory recording; null records nothing.
   RefineTelemetry* telemetry = nullptr;
+
+  /// Optional runtime context: the move loop polls for deadline expiry /
+  /// injected cancellation and stops mid-pass, rolling back to the best
+  /// prefix as usual (the partition stays valid).  Null = inert.
+  const RunContext* context = nullptr;
 
   /// Debug auditor cadence: every `audit_interval` moves the pass
   /// recomputes gains and cut cost from scratch and throws
@@ -53,6 +59,11 @@ class FmPartitioner final : public Bipartitioner {
 
   bool attach_telemetry(RefineTelemetry* telemetry) noexcept override {
     config_.telemetry = telemetry;
+    return true;
+  }
+
+  bool attach_context(const RunContext* context) noexcept override {
+    config_.context = context;
     return true;
   }
 

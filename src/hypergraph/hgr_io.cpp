@@ -133,12 +133,20 @@ void write_hgr(const Hypergraph& g, std::ostream& out) {
   if (weighted_nodes) {
     for (NodeId u = 0; u < g.num_nodes(); ++u) out << g.node_size(u) << '\n';
   }
+  // A full disk or broken pipe surfaces as stream failbits, not exceptions;
+  // without this check a truncated file would pass silently.
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("hgr: write failed (stream error after flush)");
+  }
 }
 
 void write_hgr_file(const Hypergraph& g, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("hgr: cannot write " + path);
   write_hgr(g, out);
+  out.close();
+  if (!out) throw std::runtime_error("hgr: write failed for " + path);
 }
 
 }  // namespace prop

@@ -47,8 +47,10 @@ double swap_gain(Partition& part, NodeId a, NodeId b) {
   return before - after;
 }
 
-/// One KL pass.  Returns the accepted prefix improvement.
-double kl_pass(Partition& part, const KlConfig& config) {
+/// One KL pass.  Returns the accepted prefix improvement; sets
+/// `interrupted` on a mid-pass deadline/cancellation (the rollback to the
+/// best swap prefix still runs, so balance is preserved).
+double kl_pass(Partition& part, const KlConfig& config, bool& interrupted) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
   std::vector<std::uint8_t> locked(n, 0);
@@ -61,6 +63,10 @@ double kl_pass(Partition& part, const KlConfig& config) {
   std::vector<NodeId> cand0;
   std::vector<NodeId> cand1;
   for (;;) {
+    if (config.context && config.context->refine_should_stop()) {
+      interrupted = true;
+      break;
+    }
     top_candidates(part, locked, 0, config.candidate_width, cand0);
     top_candidates(part, locked, 1, config.candidate_width, cand1);
     if (cand0.empty() || cand1.empty()) break;
@@ -111,8 +117,13 @@ RefineOutcome kl_refine(Partition& part, const BalanceConstraint& balance,
   }
   RefineOutcome out;
   for (int pass = 0; pass < config.max_passes; ++pass) {
-    const double gained = kl_pass(part, config);
+    bool interrupted = false;
+    const double gained = kl_pass(part, config, interrupted);
     ++out.passes;
+    if (interrupted) {
+      out.interrupted = true;
+      break;
+    }
     if (gained <= kEps) break;
   }
   out.cut_cost = part.cut_cost();

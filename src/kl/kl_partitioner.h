@@ -16,6 +16,7 @@
 
 #include "partition/partition.h"
 #include "partition/partitioner.h"
+#include "runtime/run_context.h"
 
 namespace prop {
 
@@ -24,6 +25,11 @@ struct KlConfig {
   /// effectively unbounded; 8 preserves its behaviour at tractable cost).
   int candidate_width = 8;
   int max_passes = 16;
+
+  /// Optional runtime context: the swap loop polls for deadline expiry /
+  /// injected cancellation and stops mid-pass, rolling back to the best
+  /// prefix of swaps (pair swaps preserve balance throughout).  Null = inert.
+  const RunContext* context = nullptr;
 };
 
 /// Improves `part` in place with KL passes until no positive gain.
@@ -38,6 +44,11 @@ class KlPartitioner final : public Bipartitioner {
   explicit KlPartitioner(KlConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "KL"; }
+
+  bool attach_context(const RunContext* context) noexcept override {
+    config_.context = context;
+    return true;
+  }
 
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;

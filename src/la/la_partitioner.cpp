@@ -57,10 +57,13 @@ void la_audit(const Partition& part, const LaGainCalculator& calc,
   }
 }
 
-/// One LA-k pass.  Returns the accepted prefix improvement.
+/// One LA-k pass.  Returns the accepted prefix improvement; sets
+/// `interrupted` when a deadline/cancellation cut the pass short (the
+/// rollback to the best prefix still runs, so the partition stays valid).
 double la_pass(Partition& part, const BalanceConstraint& balance,
                const LaConfig& config, LaGainCalculator& calc,
-               GainTree& side0, GainTree& side1, PassStats* stats) {
+               GainTree& side0, GainTree& side1, PassStats* stats,
+               bool& interrupted) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
 
@@ -109,6 +112,10 @@ double la_pass(Partition& part, const BalanceConstraint& balance,
   };
 
   while (true) {
+    if (config.context && config.context->refine_should_stop()) {
+      interrupted = true;
+      break;
+    }
     const auto h0 = best_feasible(side0, 0);
     const auto h1 = best_feasible(side1, 1);
     if (h0 == GainTree::kNull && h1 == GainTree::kNull) break;
@@ -207,13 +214,18 @@ RefineOutcome la_refine(Partition& part, const BalanceConstraint& balance,
     if (config.telemetry) {
       stats = &config.telemetry->begin_pass(part.cut_cost());
     }
+    bool interrupted = false;
     const double gained =
-        la_pass(part, balance, config, calc, side0, side1, stats);
+        la_pass(part, balance, config, calc, side0, side1, stats, interrupted);
     ++out.passes;
     if (stats) {
       stats->cut_after = part.cut_cost();
       stats->wall_seconds = wall.seconds();
       stats->cpu_seconds = cpu.seconds();
+    }
+    if (interrupted) {
+      out.interrupted = true;
+      break;
     }
     if (gained <= kEps) break;
   }

@@ -8,6 +8,7 @@
 
 #include "partition/partition.h"
 #include "partition/partitioner.h"
+#include "runtime/run_context.h"
 #include "telemetry/telemetry.h"
 
 namespace prop {
@@ -19,6 +20,11 @@ struct LaConfig {
 
   /// Opt-in per-pass trajectory recording; null records nothing.
   RefineTelemetry* telemetry = nullptr;
+
+  /// Optional runtime context: the move loop polls for deadline expiry /
+  /// injected cancellation and stops mid-pass, rolling back to the best
+  /// prefix as usual (the partition stays valid).  Null = inert.
+  const RunContext* context = nullptr;
 
   /// Debug auditor cadence: every `audit_interval` moves the pass checks
   /// incremental gain vectors, binding-number counts and cut cost against
@@ -42,6 +48,11 @@ class LaPartitioner final : public Bipartitioner {
 
   bool attach_telemetry(RefineTelemetry* telemetry) noexcept override {
     config_.telemetry = telemetry;
+    return true;
+  }
+
+  bool attach_context(const RunContext* context) noexcept override {
+    config_.context = context;
     return true;
   }
 

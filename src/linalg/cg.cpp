@@ -14,6 +14,12 @@ CgResult conjugate_gradient(const CsrMatrix& A, const std::vector<double>& b,
     throw std::invalid_argument("cg: dimension mismatch");
   }
   CgResult out;
+  const RunContext* ctx = options.context;
+  if (ctx && ctx->inject(FaultSite::kCgStall)) {
+    out.interrupted = true;
+    out.residual = 1.0;
+    return out;
+  }
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
@@ -36,6 +42,11 @@ CgResult conjugate_gradient(const CsrMatrix& A, const std::vector<double>& b,
   double rz = dot(r, zv);
 
   for (int it = 0; it < options.max_iterations; ++it) {
+    if (ctx && ctx->should_stop()) {
+      // x holds the best iterate so far; report and let the caller degrade.
+      out.interrupted = true;
+      break;
+    }
     out.iterations = it + 1;
     A.multiply(p, Ap);
     const double pAp = dot(p, Ap);

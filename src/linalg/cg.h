@@ -5,18 +5,25 @@
 #include <vector>
 
 #include "linalg/csr_matrix.h"
+#include "runtime/run_context.h"
 
 namespace prop {
 
 struct CgOptions {
   int max_iterations = 500;
   double tolerance = 1e-8;  ///< relative residual ||r|| / ||b||
+
+  /// Optional runtime context: the iteration polls its cancel token (the
+  /// partial iterate in x is still the best solution so far) and honors an
+  /// injected cg-stall, which stops the iteration immediately.  Null = inert.
+  const RunContext* context = nullptr;
 };
 
 struct CgResult {
   int iterations = 0;
   double residual = 0.0;  ///< final relative residual
   bool converged = false;
+  bool interrupted = false;  ///< cancel/injection stopped the iteration early
 };
 
 /// Solves A x = b in place (x is the starting guess and the solution).

@@ -73,11 +73,31 @@ bool tridiagonal_eigen(std::vector<double>& d, std::vector<double>& e,
   return true;
 }
 
+namespace {
+
+/// Zero-padded placeholder result for a stalled solve: k entries so callers
+/// indexing values[j]/vectors[j] stay in bounds while they degrade.
+EigenResult stalled_result(std::uint32_t n, int k) {
+  EigenResult out;
+  out.stalled = true;
+  for (int i = 0; i < k; ++i) {
+    out.values.push_back(0.0);
+    out.vectors.emplace_back(n, 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
 EigenResult smallest_eigenpairs(const CsrMatrix& A, int k, Rng& rng,
                                 const LanczosOptions& options) {
   const std::uint32_t n = A.size();
   if (k < 1) throw std::invalid_argument("lanczos: k must be >= 1");
   if (n == 0) return {};
+  const RunContext* ctx = options.context;
+  if (ctx && ctx->inject(FaultSite::kLanczosStall)) {
+    return stalled_result(n, k);
+  }
 
   const std::vector<double> ones(n, 1.0);
   const int dim_cap = std::min<int>(options.max_iterations, static_cast<int>(n));
@@ -112,8 +132,15 @@ EigenResult smallest_eigenpairs(const CsrMatrix& A, int k, Rng& rng,
   }
   basis.push_back(v);
 
+  bool truncated = false;
   std::vector<double> w(n);
   while (static_cast<int>(basis.size()) < dim_cap) {
+    if (ctx && ctx->should_stop()) {
+      // Budget hit mid-solve: the basis built so far still yields genuine
+      // (coarser) Ritz pairs — an anytime result, not an abort.
+      truncated = true;
+      break;
+    }
     const std::size_t j = basis.size() - 1;
     A.multiply(basis[j], w);
     alpha.resize(j + 1);
@@ -149,7 +176,9 @@ EigenResult smallest_eigenpairs(const CsrMatrix& A, int k, Rng& rng,
   for (int i = 0; i + 1 < m; ++i) e[i] = beta[i];
   std::vector<double> z;
   if (!tridiagonal_eigen(d, e, z)) {
-    throw std::runtime_error("lanczos: tridiagonal eigensolver stalled");
+    // Reported as data, not an exception: a stalled QL iteration must not
+    // abort a whole EIG1/MELO experiment (callers degrade instead).
+    return stalled_result(n, k);
   }
 
   std::vector<int> order(m);
@@ -158,6 +187,7 @@ EigenResult smallest_eigenpairs(const CsrMatrix& A, int k, Rng& rng,
             [&](int a, int b) { return d[a] < d[b]; });
 
   EigenResult out;
+  out.truncated = truncated;
   const int take = std::min(k, m);
   for (int t = 0; t < take; ++t) {
     const int col = order[t];

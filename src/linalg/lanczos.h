@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "linalg/csr_matrix.h"
+#include "runtime/run_context.h"
 #include "util/rng.h"
 
 namespace prop {
@@ -21,15 +22,31 @@ struct LanczosOptions {
   int max_iterations = 160;  ///< Krylov dimension cap
   double tolerance = 1e-8;   ///< residual tolerance on wanted Ritz pairs
   bool deflate_constant = true;  ///< project out the all-ones vector
+
+  /// Optional runtime context: the Krylov loop polls its cancel token
+  /// (returning the Ritz pairs of the basis built so far), and the
+  /// lanczos-stall fault site can force a stalled result.  Null = inert.
+  const RunContext* context = nullptr;
 };
 
 struct EigenResult {
   std::vector<double> values;                ///< ascending
   std::vector<std::vector<double>> vectors;  ///< unit-norm, same order
+
+  /// The tridiagonal QL iteration failed to converge (or a stall was
+  /// injected): values/vectors are zero-padded placeholders and must not be
+  /// trusted.  Callers degrade (e.g. EIG1/MELO fall back to a random
+  /// ordering) instead of aborting.
+  bool stalled = false;
+
+  /// Cancellation truncated the Krylov basis: the pairs are genuine Ritz
+  /// approximations of the partial basis, usable as a degraded result.
+  bool truncated = false;
 };
 
 /// Returns the `k` smallest eigenpairs of A (excluding the deflated
 /// constant direction when deflate_constant is set).  Deterministic in rng.
+/// Never throws on numerical failure — check EigenResult::stalled.
 EigenResult smallest_eigenpairs(const CsrMatrix& A, int k, Rng& rng,
                                 const LanczosOptions& options = {});
 

@@ -13,11 +13,16 @@
 namespace prop {
 
 struct RefineTelemetry;  // telemetry/telemetry.h
+struct RunContext;       // runtime/run_context.h
 
 /// Outcome of an in-place refinement (fm_refine, la_refine, prop_refine).
 struct RefineOutcome {
   double cut_cost = 0.0;
   int passes = 0;
+  /// A deadline/cancellation stopped refinement early.  The partition is
+  /// still the best-so-far state (every pass rolls back to its best
+  /// prefix), just not converged.
+  bool interrupted = false;
 };
 
 struct PartitionResult {
@@ -47,6 +52,15 @@ class Bipartitioner {
   /// (constructive methods); iterative refiners override and return true.
   virtual bool attach_telemetry(RefineTelemetry* telemetry) noexcept {
     (void)telemetry;
+    return false;
+  }
+
+  /// Threads a runtime context (deadline polling, fault injection,
+  /// degradation recording — runtime/run_context.h) through subsequent
+  /// run() calls; null detaches.  Returns false if the partitioner ignores
+  /// it; every partitioner in the suite overrides and returns true.
+  virtual bool attach_context(const RunContext* context) noexcept {
+    (void)context;
     return false;
   }
 };

@@ -1,12 +1,76 @@
 #include "partition/runner.h"
 
+#include <cstdio>
+#include <exception>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "util/rng.h"
 
 namespace prop {
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) for
+/// status messages and degradation details.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json(std::ostream& out, const DegradationEvent& e) {
+  out << "{\"site\":\"" << json_escape(e.site) << "\",\"action\":\""
+      << json_escape(e.action) << "\"";
+  if (!e.detail.empty()) out << ",\"detail\":\"" << json_escape(e.detail) << "\"";
+  out << "}";
+}
+
+void write_json(std::ostream& out, const RunRecord& r) {
+  out << "{\"seed\":" << r.seed << ",\"outcome\":\"" << to_string(r.status.code)
+      << "\"";
+  if (!r.status.message.empty()) {
+    out << ",\"message\":\"" << json_escape(r.status.message) << "\"";
+  }
+  if (r.produced_result()) {
+    std::ostringstream cut;
+    cut.precision(17);
+    cut << r.cut;
+    out << ",\"cut\":" << cut.str();
+  }
+  out << ",\"seconds\":" << r.seconds;
+  if (!r.degradations.empty()) {
+    out << ",\"degradations\":[";
+    bool first = true;
+    for (const DegradationEvent& e : r.degradations) {
+      if (!first) out << ",";
+      first = false;
+      write_json(out, e);
+    }
+    out << "]";
+  }
+  out << "}";
+}
+
+}  // namespace
 
 std::uint64_t MultiRunResult::total_passes() const noexcept {
   std::uint64_t total = 0;
@@ -40,40 +104,128 @@ double MultiRunResult::max_gain_drift() const noexcept {
   return best;
 }
 
+RunOutcome run_checked(Bipartitioner& partitioner, const Hypergraph& g,
+                       const BalanceConstraint& balance, std::uint64_t seed,
+                       const RunContext* context) {
+  RunOutcome out;
+  const std::size_t degrade_base =
+      context && context->degradations ? context->degradations->events().size()
+                                       : 0;
+  const bool attached = context && partitioner.attach_context(context);
+  CpuTimer timer;
+  try {
+    PartitionResult result = partitioner.run(g, balance, seed);
+    if (context && context->inject(FaultSite::kValidateFail)) {
+      out.status = Status::failure(StatusCode::kInjectedFault,
+                                   "injected validation failure");
+    } else {
+      const ValidationReport report = validate_result(g, balance, result);
+      if (!report.ok) {
+        out.status = Status::failure(
+            StatusCode::kInvalidResult,
+            partitioner.name() + " produced invalid result on " + g.name() +
+                ": " + report.message);
+      } else {
+        // The partition is valid even if the run was stopped early — the
+        // pass engines roll back to their best validated prefix.  Keep it
+        // and let the status say *why* the run ended.
+        out.result = std::move(result);
+        const StatusCode stop =
+            context ? context->stop_code() : StatusCode::kOk;
+        if (stop != StatusCode::kOk) {
+          out.status = Status::failure(
+              stop, "stopped early; returning best validated partition");
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    out.status = Status::failure(StatusCode::kError, e.what());
+  }
+  out.seconds = timer.seconds();
+  if (attached) partitioner.attach_context(nullptr);
+  if (context && context->degradations) {
+    const auto& events = context->degradations->events();
+    out.degradations.assign(events.begin() + static_cast<std::ptrdiff_t>(degrade_base),
+                            events.end());
+  }
+  return out;
+}
+
 MultiRunResult run_many(Bipartitioner& partitioner, const Hypergraph& g,
                         const BalanceConstraint& balance, int runs,
                         std::uint64_t base_seed, const RunnerOptions& options) {
   if (runs <= 0) throw std::invalid_argument("run_many: runs must be positive");
+  const RunContext* context = options.context;
   MultiRunResult out;
+  out.runs_requested = runs;
   out.cuts.reserve(static_cast<std::size_t>(runs));
+  out.records.reserve(static_cast<std::size_t>(runs));
   CpuTimer timer;
   for (int r = 0; r < runs; ++r) {
+    // Run 0 is always attempted: even with an already-expired budget the
+    // engines stop at their first poll and return a validated best-effort
+    // partition, so --on-timeout=best has something to report.
+    if (r > 0 && context && context->stop_code() != StatusCode::kOk) {
+      out.status = Status::failure(
+          context->stop_code(), "multi-start stopped after " +
+                                    std::to_string(r) + " of " +
+                                    std::to_string(runs) + " runs");
+      break;
+    }
     const std::uint64_t seed = mix_seed(base_seed, static_cast<std::uint64_t>(r));
     RunTelemetry run_telemetry;
     run_telemetry.seed = seed;
     const bool collecting =
         options.collect_telemetry &&
         partitioner.attach_telemetry(&run_telemetry.refine);
-    CpuTimer run_timer;
-    PartitionResult result = partitioner.run(g, balance, seed);
-    run_telemetry.seconds = run_timer.seconds();
+    RunOutcome outcome = run_checked(partitioner, g, balance, seed, context);
     if (collecting) partitioner.attach_telemetry(nullptr);
-    const ValidationReport report = validate_result(g, balance, result);
-    if (!report.ok) {
-      throw std::logic_error(partitioner.name() + " produced invalid result on " +
-                             g.name() + ": " + report.message);
+
+    RunRecord record;
+    record.seed = seed;
+    record.status = outcome.status;
+    record.seconds = outcome.seconds;
+    record.degradations = std::move(outcome.degradations);
+    if (outcome.has_result()) {
+      record.cut = outcome.result.cut_cost;
+      out.cuts.push_back(outcome.result.cut_cost);
+      if (collecting) {
+        run_telemetry.cut = outcome.result.cut_cost;
+        run_telemetry.seconds = outcome.seconds;
+        out.telemetry.push_back(std::move(run_telemetry));
+      }
+      if (!out.best.valid() || outcome.result.cut_cost < out.best.cut_cost) {
+        out.best = std::move(outcome.result);
+      }
     }
-    out.cuts.push_back(result.cut_cost);
-    if (collecting) {
-      run_telemetry.cut = result.cut_cost;
-      out.telemetry.push_back(std::move(run_telemetry));
-    }
-    if (!out.best.valid() || result.cut_cost < out.best.cut_cost) {
-      out.best = std::move(result);
-    }
+    // A failed run (no result) is recorded and the loop continues: one bad
+    // seed must not abort the whole multi-start.
+    out.records.push_back(std::move(record));
   }
   out.total_seconds = timer.seconds();
-  out.seconds_per_run = out.total_seconds / runs;
+  // The skip check above only runs before a next run; a budget that expired
+  // during the last attempted run must still surface in the overall status.
+  if (out.status.ok() && context &&
+      context->stop_code() != StatusCode::kOk) {
+    out.status = Status::failure(context->stop_code(),
+                                 "stopped during the final attempted run");
+  }
+  const int attempted = out.runs_attempted();
+  out.seconds_per_run =
+      attempted > 0 ? out.total_seconds / attempted : 0.0;
+  if (!out.best.valid()) {
+    std::string first_failure;
+    for (const RunRecord& rec : out.records) {
+      if (!rec.status.ok()) {
+        first_failure = rec.status.describe();
+        break;
+      }
+    }
+    throw std::runtime_error(
+        partitioner.name() + ": all " + std::to_string(attempted) +
+        " runs failed on " + g.name() +
+        (first_failure.empty() ? "" : " (first failure: " + first_failure + ")"));
+  }
   return out;
 }
 
@@ -83,8 +235,22 @@ void write_stats_json(std::ostream& out, const std::string& circuit,
   best.precision(17);
   best << result.best_cut();
   out << "{\"circuit\":\"" << circuit << "\",\"algo\":\"" << algo
-      << "\",\"best_cut\":" << best.str() << ",\"runs\":[";
+      << "\",\"outcome\":\"" << to_string(result.status.code) << "\"";
+  if (!result.status.message.empty()) {
+    out << ",\"message\":\"" << json_escape(result.status.message) << "\"";
+  }
+  out << ",\"best_cut\":" << best.str()
+      << ",\"runs_requested\":" << result.runs_requested
+      << ",\"runs_attempted\":" << result.runs_attempted()
+      << ",\"runs_failed\":" << result.runs_failed() << ",\"run_records\":[";
   bool first = true;
+  for (const RunRecord& r : result.records) {
+    if (!first) out << ",";
+    first = false;
+    write_json(out, r);
+  }
+  out << "],\"runs\":[";
+  first = true;
   for (const RunTelemetry& r : result.telemetry) {
     if (!first) out << ",";
     first = false;

@@ -1,6 +1,11 @@
 // Multi-start harness: the paper reports "FM20 / FM40 / FM100", "PROP with
 // 20 runs" etc. — the best cut over N independent runs from random starts —
 // plus CPU seconds per run (Table 4).
+//
+// Failures are data here: a run that throws, produces an invalid partition
+// or trips a fault injection is recorded in its RunRecord and the multi-start
+// continues with the remaining seeds.  run_many throws only when *every*
+// attempted run failed to produce a validated partition.
 #pragma once
 
 #include <cstdint>
@@ -10,21 +15,67 @@
 
 #include "partition/partitioner.h"
 #include "partition/validate.h"
+#include "runtime/run_context.h"
+#include "runtime/status.h"
 #include "telemetry/telemetry.h"
 #include "util/timer.h"
 
 namespace prop {
 
+/// Outcome of one checked run: the validated partition (when one exists)
+/// plus the Status explaining how the run ended.  A non-ok code does not
+/// imply a missing result — a budget-exhausted or injected-cancel run still
+/// carries its best-so-far validated partition.
+struct RunOutcome {
+  PartitionResult result;  ///< valid() only when a validated partition exists
+  Status status;
+  double seconds = 0.0;  ///< CPU seconds of this run
+  std::vector<DegradationEvent> degradations;  ///< fallbacks taken in-run
+
+  bool ok() const noexcept { return status.ok(); }
+  bool has_result() const noexcept { return result.valid(); }
+};
+
+/// Per-run ledger entry of a multi-start.
+struct RunRecord {
+  std::uint64_t seed = 0;
+  Status status;
+  double cut = -1.0;  ///< cut of the validated partition; < 0 when none
+  double seconds = 0.0;
+  std::vector<DegradationEvent> degradations;
+
+  bool produced_result() const noexcept { return cut >= 0.0; }
+};
+
 struct MultiRunResult {
   PartitionResult best;
-  std::vector<double> cuts;    ///< cut of every run, in run order
-  double total_seconds = 0.0;  ///< CPU time over all runs
+  std::vector<double> cuts;    ///< cut of every *successful* run, in run order
+  double total_seconds = 0.0;  ///< CPU time over all attempted runs
   double seconds_per_run = 0.0;
+
+  /// Overall status: ok when every requested run was attempted; the stop
+  /// code (budget_exhausted / cancelled / injected_fault) when the
+  /// multi-start ended early.  Individual run failures live in `records`
+  /// and do not make this non-ok.
+  Status status;
+
+  /// One entry per attempted run, failures included.
+  std::vector<RunRecord> records;
+  int runs_requested = 0;
 
   /// One entry per run when RunnerOptions::collect_telemetry was set and
   /// the partitioner supports it (attach_telemetry returns true); empty
-  /// otherwise.
+  /// otherwise.  Failed runs record no telemetry.
   std::vector<RunTelemetry> telemetry;
+
+  int runs_attempted() const noexcept {
+    return static_cast<int>(records.size());
+  }
+  int runs_failed() const noexcept {
+    int failed = 0;
+    for (const RunRecord& r : records) failed += r.produced_result() ? 0 : 1;
+    return failed;
+  }
 
   double best_cut() const noexcept { return best.cut_cost; }
   double mean_cut() const noexcept {
@@ -45,18 +96,35 @@ struct MultiRunResult {
 struct RunnerOptions {
   /// Record a RunTelemetry per run into MultiRunResult::telemetry.
   bool collect_telemetry = false;
+
+  /// Optional runtime context threaded into every run (deadline polls,
+  /// fault injection, degradation log).  Null = inert.
+  const RunContext* context = nullptr;
 };
 
+/// One run of `partitioner`, never throwing on a bad run: exceptions,
+/// validation failures and early stops all land in RunOutcome::status.
+/// Attaches `context` for the duration of the run (when the partitioner
+/// supports it) and snapshots the degradation events it recorded.
+RunOutcome run_checked(Bipartitioner& partitioner, const Hypergraph& g,
+                       const BalanceConstraint& balance, std::uint64_t seed,
+                       const RunContext* context = nullptr);
+
 /// Runs `partitioner` `runs` times with seeds derived from `base_seed`,
-/// validating every result (throws std::logic_error on an invalid one),
-/// and keeps the best.
+/// keeping the best validated result.  A failing run is recorded and the
+/// remaining seeds still execute; throws std::runtime_error only when every
+/// attempted run failed.  With an expired/cancelled context, run 0 is still
+/// attempted (the engines stop at their first poll and return their
+/// best-so-far), so `--on-timeout=best` always has a result; later runs are
+/// skipped and the overall status carries the stop code.
 MultiRunResult run_many(Bipartitioner& partitioner, const Hypergraph& g,
                         const BalanceConstraint& balance, int runs,
                         std::uint64_t base_seed,
                         const RunnerOptions& options = {});
 
 /// Dumps a multi-run trajectory as one JSON object:
-///   {"circuit": ..., "algo": ..., "best_cut": ..., "runs": [...]}
+///   {"circuit": ..., "algo": ..., "outcome": ..., "best_cut": ...,
+///    "run_records": [...], "runs": [...]}
 /// (the per-run / per-pass schema is documented in EXPERIMENTS.md).
 void write_stats_json(std::ostream& out, const std::string& circuit,
                       const std::string& algo, const MultiRunResult& result);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "placement/quadratic_placer.h"
@@ -72,6 +73,13 @@ PartitionResult ParaboliPartitioner::run(const Hypergraph& g,
 
   PartitionResult best;
   for (int it = 0; it < config_.iterations; ++it) {
+    if (config_.context && config_.context->should_stop() && best.valid()) {
+      // Deadline hit between rounds: the best split seen so far is already
+      // balanced and validated — return it rather than starting a new solve.
+      config_.context->degrade("paraboli.rounds", "early-stop",
+                               "stopped before round " + std::to_string(it));
+      return best;
+    }
     sort_by_position();
     PartitionResult candidate = best_prefix_split(g, balance, order);
     if (!best.valid() || candidate.cut_cost < best.cut_cost) {

@@ -13,6 +13,7 @@
 
 #include "linalg/cg.h"
 #include "partition/partitioner.h"
+#include "runtime/run_context.h"
 
 namespace prop {
 
@@ -21,6 +22,11 @@ struct ParaboliConfig {
   double anchor_fraction = 0.25; ///< share of nodes pinned per end
   double anchor_weight = 2.0;
   CgOptions cg;
+
+  /// Optional runtime context.  Forwarded into the CG solves (deadline
+  /// polls, cg-stall injection); the re-anchoring loop also polls between
+  /// rounds and returns the best split found so far.  Null = inert.
+  const RunContext* context = nullptr;
 };
 
 class ParaboliPartitioner final : public Bipartitioner {
@@ -28,6 +34,12 @@ class ParaboliPartitioner final : public Bipartitioner {
   explicit ParaboliPartitioner(ParaboliConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "PARABOLI"; }
+
+  bool attach_context(const RunContext* context) noexcept override {
+    config_.context = context;
+    config_.cg.context = context;
+    return true;
+  }
 
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;

@@ -1,0 +1,31 @@
+#include "runtime/deadline.h"
+
+#include <limits>
+
+namespace prop {
+
+Deadline Deadline::after_ms(double budget_ms) noexcept {
+  Deadline d;
+  d.unlimited_ = false;
+  const auto now = Clock::now();
+  if (budget_ms <= 0.0) {
+    d.at_ = now;
+    return d;
+  }
+  d.at_ = now + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(budget_ms));
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  if (unlimited_) return false;
+  return Clock::now() >= at_;
+}
+
+double Deadline::remaining_ms() const noexcept {
+  if (unlimited_) return std::numeric_limits<double>::infinity();
+  const auto left = std::chrono::duration<double, std::milli>(at_ - Clock::now());
+  return left.count() > 0.0 ? left.count() : 0.0;
+}
+
+}  // namespace prop

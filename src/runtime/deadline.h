@@ -1,0 +1,107 @@
+// Wall-clock budgets and cooperative cancellation.
+//
+// A Deadline is a fixed point in wall-clock time; a CancelToken combines a
+// Deadline with an explicit cancel request into a single poll point that a
+// pass engine can query at the top of its inner move loop.  Polling is
+// cheap by construction: the token only consults the clock every
+// kPollStride-th call (a counter increment and mask otherwise), so the FM
+// family's million-moves-per-second loops can poll every move without a
+// measurable slowdown.  None of this is thread-safe — the runtime layer is
+// single-threaded like the rest of the reproduction.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "runtime/status.h"
+
+namespace prop {
+
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  static Deadline never() noexcept { return Deadline{}; }
+
+  /// Expires `budget_ms` wall-clock milliseconds from now; a non-positive
+  /// budget is already expired.
+  static Deadline after_ms(double budget_ms) noexcept;
+
+  bool unlimited() const noexcept { return unlimited_; }
+  bool expired() const noexcept;
+
+  /// Milliseconds until expiry (0 when expired; +inf when unlimited).
+  double remaining_ms() const noexcept;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() noexcept = default;
+
+  Clock::time_point at_{};
+  bool unlimited_ = true;
+};
+
+/// Poll-based cooperative cancellation: deadline expiry, explicit cancel(),
+/// or an injected fault all funnel into one sticky stop flag.
+class CancelToken {
+ public:
+  CancelToken() noexcept : deadline_(Deadline::never()) {}
+  explicit CancelToken(Deadline deadline) noexcept : deadline_(deadline) {}
+
+  /// The poll point for hot loops.  Counts calls and consults the deadline
+  /// only every kPollStride-th call; once stopped, stays stopped.
+  bool should_stop() noexcept {
+    if (stopped_) return true;
+    if ((++polls_ & (kPollStride - 1)) != 0) return false;
+    return check_deadline();
+  }
+
+  /// Stops the token immediately with `reason`.
+  void cancel(StatusCode reason = StatusCode::kCancelled) noexcept {
+    if (!stopped_) {
+      stopped_ = true;
+      reason_ = reason;
+    }
+  }
+
+  /// Side-effect-free query: has a stop already been observed/requested?
+  /// (Unlike should_stop(), does not advance the poll counter, but does
+  /// honor an already-expired deadline.)
+  bool stop_requested() const noexcept {
+    return stopped_ || (!deadline_.unlimited() && deadline_.expired());
+  }
+
+  /// Why the token stopped (kOk while still running).  Deadline expiry
+  /// observed via stop_requested() alone reports kBudgetExhausted.
+  StatusCode stop_code() const noexcept {
+    if (stopped_) return reason_;
+    if (!deadline_.unlimited() && deadline_.expired()) {
+      return StatusCode::kBudgetExhausted;
+    }
+    return StatusCode::kOk;
+  }
+
+  const Deadline& deadline() const noexcept { return deadline_; }
+  std::uint64_t polls() const noexcept { return polls_; }
+
+  /// Clock checks happen every kPollStride-th poll.  64 keeps worst-case
+  /// overshoot below ~a microsecond of moves while making the common poll a
+  /// single increment-and-mask.
+  static constexpr std::uint64_t kPollStride = 64;
+
+ private:
+  bool check_deadline() noexcept {
+    if (!deadline_.unlimited() && deadline_.expired()) {
+      stopped_ = true;
+      reason_ = StatusCode::kBudgetExhausted;
+    }
+    return stopped_;
+  }
+
+  Deadline deadline_;
+  std::uint64_t polls_ = 0;
+  bool stopped_ = false;
+  StatusCode reason_ = StatusCode::kOk;
+};
+
+}  // namespace prop

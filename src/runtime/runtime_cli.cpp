@@ -1,0 +1,47 @@
+#include "runtime/runtime_cli.h"
+
+#include <stdexcept>
+
+namespace prop {
+
+const std::vector<std::string>& runtime_flag_names() {
+  static const std::vector<std::string> names = {
+      "time-budget-ms", "on-timeout", "inject", "inject-seed"};
+  return names;
+}
+
+std::string describe_degradations(const DegradationLog& log) {
+  std::string out;
+  for (const DegradationEvent& e : log.events()) {
+    out += "degraded: " + e.site + " -> " + e.action;
+    if (!e.detail.empty()) out += " (" + e.detail + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+RuntimeSession::RuntimeSession(const CliArgs& args) {
+  const double budget_ms = args.get_double_or("time-budget-ms", 0.0);
+  if (budget_ms > 0.0) {
+    cancel_ = CancelToken(Deadline::after_ms(budget_ms));
+    active_ = true;
+  }
+  const std::string on_timeout = args.get_or("on-timeout", "best");
+  if (on_timeout == "fail") {
+    fail_on_timeout_ = true;
+  } else if (on_timeout != "best") {
+    throw std::invalid_argument("--on-timeout must be 'best' or 'fail', got '" +
+                                on_timeout + "'");
+  }
+  if (const auto spec = args.get("inject"); spec && !spec->empty()) {
+    const auto seed = args.get_int(std::string("inject-seed"));
+    injector_ = seed ? FaultInjector(*spec, static_cast<std::uint64_t>(*seed))
+                     : FaultInjector(*spec);
+    active_ = true;
+  }
+  context_.cancel = &cancel_;
+  context_.injector = &injector_;
+  context_.degradations = &degradations_;
+}
+
+}  // namespace prop

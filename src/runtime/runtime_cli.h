@@ -1,0 +1,66 @@
+// Uniform command-line surface of the runtime layer.
+//
+// Every harness (prop_cli, the table benches) accepts the same four flags:
+//
+//   --time-budget-ms N     wall-clock budget for the whole invocation
+//   --on-timeout=best|fail exit 0 with the best-so-far result (default) or
+//                          exit nonzero when the budget expires
+//   --inject=SPEC          arm the FaultInjector (grammar in
+//                          fault_injection.h)
+//   --inject-seed N        seed of the injector's probability stream
+//
+// RuntimeSession owns the CancelToken / FaultInjector / DegradationLog that
+// a RunContext merely borrows, so a harness needs exactly one local of this
+// type.  When none of the flags is given, context() is null and the runtime
+// layer stays fully inert.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/run_context.h"
+#include "util/cli.h"
+
+namespace prop {
+
+/// The flag names above, for inclusion in validate_flags() known-lists.
+const std::vector<std::string>& runtime_flag_names();
+
+/// One line per degradation event ("degraded: eig1.lanczos -> ..."), for
+/// harness stderr reporting.  Empty string when nothing degraded.
+std::string describe_degradations(const DegradationLog& log);
+
+class RuntimeSession {
+ public:
+  /// Parses the runtime flags out of `args`.  Throws std::invalid_argument
+  /// on a malformed --on-timeout value or --inject spec.
+  explicit RuntimeSession(const CliArgs& args);
+
+  RuntimeSession(const RuntimeSession&) = delete;
+  RuntimeSession& operator=(const RuntimeSession&) = delete;
+
+  /// Context to thread into runs; null when no runtime flag was given.
+  const RunContext* context() const noexcept {
+    return active_ ? &context_ : nullptr;
+  }
+
+  bool active() const noexcept { return active_; }
+
+  /// --on-timeout=fail was given: a budget-exhausted outcome should exit
+  /// nonzero instead of reporting the best-so-far result.
+  bool fail_on_timeout() const noexcept { return fail_on_timeout_; }
+
+  CancelToken& cancel() noexcept { return cancel_; }
+  FaultInjector& injector() noexcept { return injector_; }
+  const DegradationLog& degradations() const noexcept { return degradations_; }
+
+ private:
+  CancelToken cancel_;
+  FaultInjector injector_;
+  DegradationLog degradations_;
+  RunContext context_;
+  bool active_ = false;
+  bool fail_on_timeout_ = false;
+};
+
+}  // namespace prop

@@ -1,0 +1,28 @@
+#include "runtime/status.h"
+
+namespace prop {
+
+const char* to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kBudgetExhausted: return "budget_exhausted";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kInjectedFault: return "injected_fault";
+    case StatusCode::kEigensolverStalled: return "eigensolver_stalled";
+    case StatusCode::kInvalidResult: return "invalid_result";
+    case StatusCode::kSkipped: return "skipped";
+    case StatusCode::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Status::describe() const {
+  std::string out = to_string(code);
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace prop

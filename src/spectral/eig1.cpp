@@ -18,13 +18,24 @@ PartitionResult Eig1Partitioner::run(const Hypergraph& g,
   // With the constant direction deflated, the smallest remaining eigenpair
   // is the Fiedler vector.
   const EigenResult eig = smallest_eigenpairs(laplacian, 1, rng, config_.lanczos);
-  const std::vector<double>& fiedler = eig.vectors.front();
 
   std::vector<NodeId> order(g.num_nodes());
   std::iota(order.begin(), order.end(), NodeId{0});
-  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
-    return fiedler[a] != fiedler[b] ? fiedler[a] < fiedler[b] : a < b;
-  });
+  if (eig.stalled) {
+    // Degradation chain: a stalled eigensolver yields no Fiedler vector, so
+    // fall back to a random ordering — best_prefix_split still returns a
+    // valid balanced partition, just without spectral guidance.
+    if (config_.context) {
+      config_.context->degrade("eig1.lanczos", "random-order-fallback",
+                               "eigensolver stalled; using shuffled ordering");
+    }
+    rng.shuffle(order);
+  } else {
+    const std::vector<double>& fiedler = eig.vectors.front();
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return fiedler[a] != fiedler[b] ? fiedler[a] < fiedler[b] : a < b;
+    });
+  }
 
   return best_prefix_split(g, balance, order);
 }

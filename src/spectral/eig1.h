@@ -11,11 +11,17 @@
 
 #include "linalg/lanczos.h"
 #include "partition/partitioner.h"
+#include "runtime/run_context.h"
 
 namespace prop {
 
 struct Eig1Config {
   LanczosOptions lanczos;
+
+  /// Optional runtime context.  Forwarded into the Lanczos solve (deadline
+  /// polls, lanczos-stall injection); when the eigensolver stalls the run
+  /// degrades to a random ordering instead of aborting.  Null = inert.
+  const RunContext* context = nullptr;
 };
 
 class Eig1Partitioner final : public Bipartitioner {
@@ -23,6 +29,12 @@ class Eig1Partitioner final : public Bipartitioner {
   explicit Eig1Partitioner(Eig1Config config = {}) : config_(config) {}
 
   std::string name() const override { return "EIG1"; }
+
+  bool attach_context(const RunContext* context) noexcept override {
+    config_.context = context;
+    config_.lanczos.context = context;
+    return true;
+  }
 
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;

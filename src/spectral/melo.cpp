@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "spectral/laplacian.h"
@@ -20,6 +21,19 @@ PartitionResult MeloPartitioner::run(const Hypergraph& g,
 
   const CsrMatrix laplacian = clique_laplacian(g);
   const EigenResult eig = smallest_eigenpairs(laplacian, d, rng, config_.lanczos);
+
+  if (eig.stalled) {
+    // Degradation chain: no usable eigenvectors — fall back to a random
+    // ordering so the run still returns a valid balanced split.
+    if (config_.context) {
+      config_.context->degrade("melo.lanczos", "random-order-fallback",
+                               "eigensolver stalled; using shuffled ordering");
+    }
+    std::vector<NodeId> order(n);
+    for (NodeId u = 0; u < n; ++u) order[u] = u;
+    rng.shuffle(order);
+    return best_prefix_split(g, balance, order);
+  }
 
   // Row-major n x d embedding, each eigenvector scaled by 1/sqrt(lambda)
   // so smoother (more informative) directions dominate distances.
@@ -50,6 +64,18 @@ PartitionResult MeloPartitioner::run(const Hypergraph& g,
   placed[start] = 1;
   NodeId current = start;
   for (NodeId step = 1; step < n; ++step) {
+    if (config_.context && config_.context->should_stop()) {
+      // Deadline hit mid-ordering: keep the chain built so far and append
+      // the rest in index order — still a full permutation for the sweep.
+      for (NodeId v = 0; v < n; ++v) {
+        if (!placed[v]) order.push_back(v);
+      }
+      config_.context->degrade("melo.ordering", "truncated-chain",
+                               "greedy ordering stopped at step " +
+                                   std::to_string(step) + " of " +
+                                   std::to_string(n));
+      break;
+    }
     NodeId best = kInvalidNode;
     double best_dist = std::numeric_limits<double>::infinity();
     const double* cur = &embed[static_cast<std::size_t>(current) * d];

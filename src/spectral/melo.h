@@ -15,12 +15,19 @@
 
 #include "linalg/lanczos.h"
 #include "partition/partitioner.h"
+#include "runtime/run_context.h"
 
 namespace prop {
 
 struct MeloConfig {
   int num_eigenvectors = 4;
   LanczosOptions lanczos;
+
+  /// Optional runtime context.  Forwarded into the Lanczos solve; a stalled
+  /// eigensolver degrades to a random ordering, and the O(n^2) greedy
+  /// ordering loop polls for deadline expiry (falling back to the partial
+  /// chain plus identity tail).  Null = inert.
+  const RunContext* context = nullptr;
 };
 
 class MeloPartitioner final : public Bipartitioner {
@@ -28,6 +35,12 @@ class MeloPartitioner final : public Bipartitioner {
   explicit MeloPartitioner(MeloConfig config = {}) : config_(config) {}
 
   std::string name() const override { return "MELO"; }
+
+  bool attach_context(const RunContext* context) noexcept override {
+    config_.context = context;
+    config_.lanczos.context = context;
+    return true;
+  }
 
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;

@@ -1,5 +1,7 @@
 #include "util/cli.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
 
@@ -88,6 +90,23 @@ std::vector<std::string> CliArgs::flag_names() const {
   names.reserve(flags_.size());
   for (const auto& [name, value] : flags_) names.push_back(name);
   return names;
+}
+
+bool validate_flags(const CliArgs& args, const std::vector<std::string>& known,
+                    const std::string& usage) {
+  bool ok = true;
+  for (const std::string& name : args.flag_names()) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", args.program().c_str(),
+                   name.c_str());
+      ok = false;
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "usage: %s %s\n", args.program().c_str(),
+                 usage.c_str());
+  }
+  return ok;
 }
 
 }  // namespace prop

@@ -48,4 +48,12 @@ class CliArgs {
   std::vector<std::string> positional_;
 };
 
+/// Rejects unrecognized flags: prints "<program>: unknown flag --X" and a
+/// "usage: <program> <usage>" line to stderr for each flag not in `known`,
+/// returning false so callers can exit nonzero.  Every binary that parses
+/// CliArgs should gate on this instead of silently ignoring typos
+/// (--time-budget-ms misspelled must not become an unbudgeted run).
+bool validate_flags(const CliArgs& args, const std::vector<std::string>& known,
+                    const std::string& usage);
+
 }  // namespace prop

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "hypergraph/builder.h"
 #include "hypergraph/generator.h"
@@ -112,6 +114,21 @@ TEST(HgrIo, RoundTripWeighted) {
   const Hypergraph h = read_hgr(in);
   EXPECT_DOUBLE_EQ(h.net_cost(0), 2.0);
   EXPECT_EQ(h.node_size(2), 7);
+}
+
+TEST(HgrIo, WriterReportsStreamFailure) {
+  HypergraphBuilder b(2);
+  b.add_net({0, 1});
+  const Hypergraph g = std::move(b).build();
+
+  std::ostringstream out;
+  out.setstate(std::ios::failbit);
+  try {
+    write_hgr(g, out);
+    FAIL() << "expected write_hgr to throw on a failed stream";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("hgr:", 0), 0u) << e.what();
+  }
 }
 
 TEST(HgrIo, RoundTripGeneratedCircuit) {

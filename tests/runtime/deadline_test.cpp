@@ -1,0 +1,106 @@
+// Deadline / CancelToken unit tests.  Timing-sensitive behaviour is tested
+// with already-expired or never-expiring deadlines so nothing here depends
+// on scheduler latency.
+#include "runtime/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/status.h"
+
+namespace prop {
+namespace {
+
+TEST(Deadline, NeverIsUnlimited) {
+  const Deadline d = Deadline::never();
+  EXPECT_TRUE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(d.remaining_ms() > 1e18);
+}
+
+TEST(Deadline, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(Deadline::after_ms(0.0).expired());
+  EXPECT_TRUE(Deadline::after_ms(-5.0).expired());
+  EXPECT_EQ(Deadline::after_ms(0.0).remaining_ms(), 0.0);
+}
+
+TEST(Deadline, GenerousBudgetNotExpiredYet) {
+  const Deadline d = Deadline::after_ms(60000.0);
+  EXPECT_FALSE(d.unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_ms(), 0.0);
+}
+
+TEST(CancelToken, DefaultNeverStops) {
+  CancelToken token;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(token.should_stop());
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_EQ(token.stop_code(), StatusCode::kOk);
+}
+
+TEST(CancelToken, CancelIsSticky) {
+  CancelToken token;
+  token.cancel();
+  EXPECT_TRUE(token.should_stop());
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.stop_code(), StatusCode::kCancelled);
+  // A later cancel with a different reason does not overwrite the first.
+  token.cancel(StatusCode::kInjectedFault);
+  EXPECT_EQ(token.stop_code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, CancelReasonIsReported) {
+  CancelToken token;
+  token.cancel(StatusCode::kInjectedFault);
+  EXPECT_EQ(token.stop_code(), StatusCode::kInjectedFault);
+}
+
+TEST(CancelToken, ExpiredDeadlineStopsWithinOneStride) {
+  CancelToken token{Deadline::after_ms(0.0)};
+  // The poll counter only consults the clock every kPollStride-th call, so
+  // an expired deadline must be observed within one full stride.
+  bool stopped = false;
+  for (std::uint64_t i = 0; i < CancelToken::kPollStride; ++i) {
+    if (token.should_stop()) {
+      stopped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(token.stop_code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(CancelToken, StopRequestedSeesExpiredDeadlineWithoutPolling) {
+  const CancelToken token{Deadline::after_ms(0.0)};
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.stop_code(), StatusCode::kBudgetExhausted);
+  EXPECT_EQ(token.polls(), 0u);
+}
+
+TEST(CancelToken, UnlimitedDeadlinePollIsCheap) {
+  CancelToken token{Deadline::never()};
+  for (int i = 0; i < 10 * 64; ++i) EXPECT_FALSE(token.should_stop());
+  EXPECT_EQ(token.polls(), 10u * 64u);
+}
+
+TEST(Status, DescribeIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::success().describe(), "ok");
+  const Status s =
+      Status::failure(StatusCode::kBudgetExhausted, "deadline hit");
+  EXPECT_EQ(s.describe(), "budget_exhausted: deadline hit");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(Status, ToStringIsStableSnakeCase) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_STREQ(to_string(StatusCode::kBudgetExhausted), "budget_exhausted");
+  EXPECT_STREQ(to_string(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(to_string(StatusCode::kInjectedFault), "injected_fault");
+  EXPECT_STREQ(to_string(StatusCode::kEigensolverStalled),
+               "eigensolver_stalled");
+  EXPECT_STREQ(to_string(StatusCode::kInvalidResult), "invalid_result");
+  EXPECT_STREQ(to_string(StatusCode::kSkipped), "skipped");
+  EXPECT_STREQ(to_string(StatusCode::kError), "error");
+}
+
+}  // namespace
+}  // namespace prop

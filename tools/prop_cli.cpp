@@ -16,7 +16,9 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "cluster/window.h"
 #include "core/prop_partitioner.h"
@@ -30,6 +32,7 @@
 #include "partition/recursive.h"
 #include "partition/runner.h"
 #include "placement/paraboli.h"
+#include "runtime/runtime_cli.h"
 #include "spectral/eig1.h"
 #include "spectral/melo.h"
 #include "util/cli.h"
@@ -53,13 +56,18 @@ std::unique_ptr<prop::Bipartitioner> make_algo(const std::string& name) {
   return nullptr;
 }
 
+constexpr const char* kUsage =
+    "[--hgr FILE | --circuit NAME] [--algo NAME]\n"
+    "          [--runs N] [--balance 50-50|45-55] [--k K]\n"
+    "          [--seed N] [--out FILE] [--stats-json FILE] [--list]\n"
+    "          [--time-budget-ms N] [--on-timeout=best|fail]\n"
+    "          [--inject=SPEC] [--inject-seed N]";
+
 int usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [--hgr FILE | --circuit NAME] [--algo NAME]\n"
-               "          [--runs N] [--balance 50-50|45-55] [--k K]\n"
-               "          [--seed N] [--out FILE] [--stats-json FILE] [--list]\n"
+               "usage: %s %s\n"
                "algorithms: fm fm-tree la2 la3 kl prop eig1 melo paraboli window\n",
-               prog);
+               prog, kUsage);
   return 2;
 }
 
@@ -67,6 +75,12 @@ int usage(const char* prog) {
 
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
+
+  std::vector<std::string> known = {"hgr",  "circuit", "algo", "runs",
+                                    "balance", "k",    "seed", "out",
+                                    "stats-json", "list"};
+  for (const auto& name : prop::runtime_flag_names()) known.push_back(name);
+  if (!prop::validate_flags(args, known, kUsage)) return 2;
 
   if (args.has("list")) {
     std::printf("bundled Table 1 circuits (synthetic stand-ins):\n");
@@ -101,10 +115,20 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int runs = static_cast<int>(args.get_int_or("runs", 20));
   const auto k = static_cast<prop::NodeId>(args.get_int_or("k", 2));
+
+  std::optional<prop::RuntimeSession> session;
+  try {
+    session.emplace(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return usage(argv[0]);
+  }
+
   std::printf("%s\n", prop::describe(g).c_str());
 
   try {
     if (k > 2) {
+      if (session->context()) algo->attach_context(session->context());
       const prop::KWayResult r = prop::recursive_bisection(*algo, g, k, seed);
       std::printf("%s %u-way: cut = %.0f\n", algo->name().c_str(), k, r.cut_cost);
       if (const auto out = args.get("out")) {
@@ -122,14 +146,25 @@ int main(int argc, char** argv) {
     const auto stats_json = args.get("stats-json");
     prop::RunnerOptions options;
     options.collect_telemetry = stats_json.has_value();
+    options.context = session->context();
     const prop::MultiRunResult r =
         prop::run_many(*algo, g, balance, runs, seed, options);
 
     const prop::Partition part(g, r.best.side);
     const prop::PartitionMetrics m = prop::compute_metrics(part);
     std::printf("%s x%d: best cut = %.0f  mean = %.1f  (%.4f s/run)\n",
-                algo->name().c_str(), runs, r.best_cut(), r.mean_cut(),
-                r.seconds_per_run);
+                algo->name().c_str(), r.runs_attempted(), r.best_cut(),
+                r.mean_cut(), r.seconds_per_run);
+    const std::string degraded =
+        prop::describe_degradations(session->degradations());
+    if (!degraded.empty()) std::fputs(degraded.c_str(), stderr);
+    if (!r.status.ok()) {
+      std::printf("outcome: %s\n", r.status.describe().c_str());
+    }
+    if (const int failed = r.runs_failed(); failed > 0) {
+      std::fprintf(stderr, "warning: %d of %d runs failed (see --stats-json)\n",
+                   failed, r.runs_attempted());
+    }
     std::printf("sizes %lld | %lld   ratio-cut %.3g   absorption %.1f\n",
                 static_cast<long long>(m.size0), static_cast<long long>(m.size1),
                 m.ratio_cut, m.absorption);
@@ -156,6 +191,11 @@ int main(int argc, char** argv) {
       std::ofstream f(*out);
       for (const auto side : r.best.side) f << static_cast<int>(side) << '\n';
       std::printf("wrote %s\n", out->c_str());
+    }
+    if (!r.status.ok() && session->fail_on_timeout()) {
+      std::fprintf(stderr, "error: %s (--on-timeout=fail)\n",
+                   r.status.describe().c_str());
+      return 3;
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
