@@ -64,8 +64,8 @@ std::vector<Variant> variants() {
 int main(int argc, char** argv) {
   prop::CliArgs args(argc, argv);
   if (!prop::bench::check_flags(
-          args, {"fast", "circuit", "runs", "seed"},
-          "[--fast] [--circuit NAME] [--runs N] [--seed N]\n"
+          args, {"fast", "circuit", "runs", "seed", "threads"},
+          "[--fast] [--circuit NAME] [--runs N] [--seed N] [--threads N]\n"
           "          [--time-budget-ms N] [--on-timeout=best|fail] "
           "[--inject=SPEC] [--inject-seed N]")) {
     return 2;
@@ -73,6 +73,7 @@ int main(int argc, char** argv) {
   prop::RuntimeSession session(args);
   prop::RunnerOptions options;
   options.context = session.context();
+  options.threads = prop::bench::thread_count(args);
   prop::bench::OutcomeTracker tracker;
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int runs = static_cast<int>(args.get_int_or("runs", 10));

@@ -65,6 +65,15 @@ inline std::vector<std::string> circuit_names(const CliArgs& args) {
   return names;
 }
 
+/// Worker-thread count for run_many: 0 (the default) keeps the legacy
+/// sequential path; >= 1 selects the deterministic parallel dispatcher
+/// (DESIGN.md Sec. 4e).  Results are identical either way — only wall
+/// clock changes — so every table harness exposes the flag uniformly.
+inline int thread_count(const CliArgs& args) {
+  const int threads = static_cast<int>(args.get_int_or("threads", 0));
+  return threads < 0 ? 0 : threads;
+}
+
 /// Scales a paper run count by --runs-scale (e.g. 0.2 for smoke runs).
 inline int scaled_runs(const CliArgs& args, int paper_runs) {
   const double scale = args.get_double_or("runs-scale", 1.0);

@@ -1,0 +1,186 @@
+// Thread-scaling harness for the deterministic parallel multi-start runner
+// (DESIGN.md Sec. 4e).  Runs the same seeded multi-start sweep at each
+// requested worker-thread count, asserts that every thread count reproduces
+// the sequential results exactly (best cut, best seed, per-run cut vector),
+// and writes the measurements to a JSON file for tracking.
+//
+// Output schema (one object per {circuit, algo, threads} cell):
+//   {"circuit": ..., "algo": ..., "runs": N, "threads": T,
+//    "wall_seconds": W, "cpu_seconds": C, "runs_per_sec": N/W,
+//    "best_cut": B, "best_seed": S}
+//
+// Speedup is runs_per_sec relative to the threads=1 row.  On a single-core
+// host all rows are flat (the pool adds only scheduling overhead); the
+// determinism assertions are the part that must hold everywhere.
+//
+// Flags: --runs N (default 16), --seed N, --threads-list 1,2,4,8,
+// --out FILE (default BENCH_parallel_runner.json), --fast.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/prop_partitioner.h"
+#include "fm/fm_partitioner.h"
+#include "hypergraph/generator.h"
+#include "partition/runner.h"
+#include "util/cli.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+std::vector<int> parse_threads_list(const std::string& spec) {
+  std::vector<int> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int t = std::atoi(item.c_str());
+    if (t >= 1) out.push_back(t);
+  }
+  return out;
+}
+
+struct Cell {
+  std::string circuit;
+  std::string algo;
+  int runs = 0;
+  int threads = 0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double runs_per_sec = 0.0;
+  double best_cut = 0.0;
+  std::uint64_t best_seed = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const prop::CliArgs args(argc, argv);
+  if (!prop::bench::check_flags(
+          args, {"runs", "seed", "threads-list", "out", "fast"},
+          "[--runs N] [--seed N] [--threads-list 1,2,4,8] [--out FILE] "
+          "[--fast]")) {
+    return 2;
+  }
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const int runs = static_cast<int>(args.get_int_or("runs", 16));
+  const std::vector<int> thread_counts =
+      parse_threads_list(args.get_or("threads-list", "1,2,4,8"));
+  const std::string out_path = args.get_or("out", "BENCH_parallel_runner.json");
+  if (thread_counts.empty()) {
+    std::fprintf(stderr, "error: --threads-list has no usable entries\n");
+    return 2;
+  }
+
+  struct Shape {
+    const char* name;
+    prop::NodeId nodes;
+    prop::NetId nets;
+    std::size_t pins;
+  };
+  std::vector<Shape> shapes = {{"g600", 600, 750, 2600},
+                               {"g2000", 2000, 2600, 9000}};
+  if (args.get_bool_or("fast", false)) shapes.resize(1);
+
+  prop::FmPartitioner fm;
+  prop::PropPartitioner prop_algo;
+  std::vector<prop::Bipartitioner*> algos = {&fm, &prop_algo};
+
+  std::printf("parallel multi-start scaling (%d runs per sweep; host has %d "
+              "hardware threads)\n\n",
+              runs, prop::ThreadPool::hardware_threads());
+  std::printf("%-8s %-6s %8s %12s %12s %12s %9s %10s\n", "circuit", "algo",
+              "threads", "wall (s)", "cpu (s)", "runs/sec", "speedup",
+              "best cut");
+  prop::bench::print_rule(86);
+
+  std::vector<Cell> cells;
+  bool determinism_ok = true;
+  for (const auto& shape : shapes) {
+    const prop::Hypergraph g = prop::generate_circuit(
+        {shape.name, shape.nodes, shape.nets, shape.pins},
+        prop::mix_seed(seed, 21));
+    const prop::BalanceConstraint balance =
+        prop::BalanceConstraint::forty_five(g);
+    for (prop::Bipartitioner* algo : algos) {
+      double base_rate = 0.0;
+      std::vector<double> reference_cuts;
+      std::uint64_t reference_best_seed = 0;
+      for (const int threads : thread_counts) {
+        prop::RunnerOptions options;
+        options.threads = threads;
+        prop::WallTimer wall;
+        const prop::MultiRunResult r =
+            prop::run_many(*algo, g, balance, runs, seed, options);
+        const double wall_s = wall.seconds();
+
+        if (reference_cuts.empty()) {
+          reference_cuts = r.cuts;
+          reference_best_seed = r.best_seed;
+        } else if (r.cuts != reference_cuts ||
+                   r.best_seed != reference_best_seed) {
+          determinism_ok = false;
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: %s/%s threads=%d diverges "
+                       "from threads=%d\n",
+                       shape.name, algo->name().c_str(), threads,
+                       thread_counts.front());
+        }
+
+        Cell cell;
+        cell.circuit = shape.name;
+        cell.algo = algo->name();
+        cell.runs = runs;
+        cell.threads = threads;
+        cell.wall_seconds = wall_s;
+        cell.cpu_seconds = r.total_cpu_seconds;
+        cell.runs_per_sec = wall_s > 0.0 ? runs / wall_s : 0.0;
+        cell.best_cut = r.best_cut();
+        cell.best_seed = r.best_seed;
+        cells.push_back(cell);
+
+        if (threads == thread_counts.front()) base_rate = cell.runs_per_sec;
+        const double speedup =
+            base_rate > 0.0 ? cell.runs_per_sec / base_rate : 1.0;
+        std::printf("%-8s %-6s %8d %12.4f %12.4f %12.2f %8.2fx %10.0f\n",
+                    shape.name, algo->name().c_str(), threads,
+                    cell.wall_seconds, cell.cpu_seconds, cell.runs_per_sec,
+                    speedup, cell.best_cut);
+      }
+    }
+  }
+
+  std::ofstream f(out_path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  f << "[\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"circuit\": \"%s\", \"algo\": \"%s\", \"runs\": %d, "
+                  "\"threads\": %d, \"wall_seconds\": %.6f, "
+                  "\"cpu_seconds\": %.6f, \"runs_per_sec\": %.3f, "
+                  "\"best_cut\": %.0f, \"best_seed\": %llu}%s\n",
+                  c.circuit.c_str(), c.algo.c_str(), c.runs, c.threads,
+                  c.wall_seconds, c.cpu_seconds, c.runs_per_sec, c.best_cut,
+                  static_cast<unsigned long long>(c.best_seed),
+                  i + 1 < cells.size() ? "," : "");
+    f << buf;
+  }
+  f << "]\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!determinism_ok) {
+    std::fprintf(stderr, "error: results differ across thread counts\n");
+    return 1;
+  }
+  std::printf("all thread counts produced identical results\n");
+  return 0;
+}

@@ -20,9 +20,11 @@
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
   if (!prop::bench::check_flags(
-          args, {"fast", "runs", "seed", "audit-interval", "resync-interval"},
+          args,
+          {"fast", "runs", "seed", "audit-interval", "resync-interval",
+           "threads"},
           "[--fast] [--runs N] [--seed N] [--audit-interval N] "
-          "[--resync-interval N]\n"
+          "[--resync-interval N] [--threads N]\n"
           "          [--time-budget-ms N] [--on-timeout=best|fail] "
           "[--inject=SPEC] [--inject-seed N]")) {
     return 2;
@@ -63,6 +65,7 @@ int main(int argc, char** argv) {
     prop::RunnerOptions options;
     options.collect_telemetry = true;
     options.context = session.context();
+    options.threads = prop::bench::thread_count(args);
 
     prop::PropConfig raw;
     raw.audit_interval = audit;

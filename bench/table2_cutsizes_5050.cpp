@@ -36,8 +36,8 @@ double best_prefix(const std::vector<double>& cuts, std::size_t count) {
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
   if (!prop::bench::check_flags(
-          args, {"fast", "circuit", "runs-scale", "seed"},
-          "[--fast] [--circuit NAME] [--runs-scale S] [--seed N]\n"
+          args, {"fast", "circuit", "runs-scale", "seed", "threads"},
+          "[--fast] [--circuit NAME] [--runs-scale S] [--seed N] [--threads N]\n"
           "          [--time-budget-ms N] [--on-timeout=best|fail] "
           "[--inject=SPEC] [--inject-seed N]")) {
     return 2;
@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   prop::RuntimeSession session(args);
   prop::RunnerOptions options;
   options.context = session.context();
+  options.threads = prop::bench::thread_count(args);
   prop::bench::OutcomeTracker tracker;
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int fm_runs = prop::bench::scaled_runs(args, 100);

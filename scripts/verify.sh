@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo verification loop: plain Release build + tests, then the same test
-# suite under AddressSanitizer + UndefinedBehaviorSanitizer.
+# Repo verification loop: plain Release build + tests, the same test suite
+# under AddressSanitizer + UndefinedBehaviorSanitizer, and the concurrency
+# suites under ThreadSanitizer.
 #
 #   scripts/verify.sh           # release tests + sanitizer tests
 #   scripts/verify.sh --fast    # release tests only
@@ -37,5 +38,22 @@ echo "== budgeted-run smoke (asan+ubsan) =="
   --time-budget-ms 1 --on-timeout=best > /dev/null
 ./build-asan/tools/prop_cli --circuit t4 --algo eig1 --runs 1 \
   --inject=lanczos-stall > /dev/null
+
+# ThreadSanitizer over everything that touches the thread pool or the
+# cross-thread stop latch: the parallel runner suites, the pool itself, and
+# the runtime suites whose objects the workers share.  The whole test suite
+# is single-threaded apart from these, so the targeted run is the honest
+# TSan surface, not a shortcut.
+echo "== tsan build + concurrency suites =="
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs"
+ctest --preset tsan -j "$jobs" \
+  -R 'ParallelRunner|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector'
+
+echo "== tsan parallel smoke =="
+./build-tsan/tools/prop_cli --circuit t4 --algo fm --runs 8 --threads 4 \
+  > /dev/null
+./build-tsan/tools/prop_cli --circuit t4 --algo prop --runs 4 --threads 2 \
+  --time-budget-ms 1 --on-timeout=best > /dev/null
 
 echo "== verify OK =="

@@ -41,6 +41,12 @@ class WindowPartitioner final : public Bipartitioner {
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 
+  std::unique_ptr<Bipartitioner> clone() const override {
+    auto copy = std::make_unique<WindowPartitioner>(config_);
+    copy->attach_context(nullptr);
+    return copy;
+  }
+
  private:
   WindowConfig config_;
 };

@@ -41,6 +41,13 @@ class PropPartitioner final : public Bipartitioner {
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 
+  std::unique_ptr<Bipartitioner> clone() const override {
+    auto copy = std::make_unique<PropPartitioner>(config_);
+    copy->attach_telemetry(nullptr);
+    copy->attach_context(nullptr);
+    return copy;
+  }
+
   const PropConfig& config() const noexcept { return config_; }
 
  private:

@@ -57,13 +57,13 @@ void BucketList::update(Handle h, int new_gain) {
   insert(h, new_gain);
 }
 
-BucketList::Handle BucketList::best() const noexcept {
+BucketList::Handle BucketList::best() noexcept {
   assert(!empty());
   int g = top_;
   while (buckets_[index(g)] == kNull) --g;
   // top_ is a lazy upper bound; tightening it here keeps best() amortized
   // O(1) over a pass.
-  const_cast<BucketList*>(this)->top_ = g;
+  top_ = g;
   return buckets_[index(g)];
 }
 

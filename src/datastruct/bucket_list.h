@@ -40,28 +40,32 @@ class BucketList {
   void update(Handle h, int new_gain);
 
   /// Handle with the maximum gain (most recently inserted first).
-  /// Structure must be non-empty.
-  Handle best() const noexcept;
+  /// Structure must be non-empty.  Non-const on purpose: selection tightens
+  /// the lazy max-gain cursor (`top_`), a real mutation — hiding it behind
+  /// `const` + const_cast was a logical-const violation that turns into a
+  /// data race the moment a "read-only" list is shared across threads.
+  Handle best() noexcept;
 
   /// Highest-gain handle satisfying `pred`, or kNull if none does.  Scans
   /// buckets downward; used for balance-constrained selection with
   /// non-uniform node sizes.  Like best(), tightens the lazy max-gain
-  /// cursor past empty buckets so repeated selections stay amortized O(1).
+  /// cursor past empty buckets so repeated selections stay amortized O(1)
+  /// (and is therefore non-const, see best()).
   template <typename Pred>
-  Handle best_where(Pred&& pred) const {
+  Handle best_where(Pred&& pred) {
     bool tightened = false;
     for (int g = top_; g >= -max_gain_; --g) {
       const Handle head = buckets_[index(g)];
       if (head == kNull) continue;
       if (!tightened) {
-        const_cast<BucketList*>(this)->top_ = g;
+        top_ = g;
         tightened = true;
       }
       for (Handle h = head; h != kNull; h = next_[h]) {
         if (pred(h)) return h;
       }
     }
-    if (!tightened) const_cast<BucketList*>(this)->top_ = -max_gain_;
+    if (!tightened) top_ = -max_gain_;
     return kNull;
   }
 

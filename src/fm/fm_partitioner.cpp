@@ -34,9 +34,11 @@ class BucketContainer {
   void update(Handle h, double g) {
     list_.update(h, static_cast<int>(std::llround(g)));
   }
-  Handle best() const { return list_.best(); }
+  // Non-const like the underlying BucketList: selection tightens the lazy
+  // max-gain cursor.
+  Handle best() { return list_.best(); }
   template <typename Pred>
-  Handle best_where(Pred&& pred) const {
+  Handle best_where(Pred&& pred) {
     return list_.best_where(pred);
   }
 

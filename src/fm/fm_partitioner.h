@@ -70,6 +70,13 @@ class FmPartitioner final : public Bipartitioner {
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 
+  std::unique_ptr<Bipartitioner> clone() const override {
+    auto copy = std::make_unique<FmPartitioner>(config_);
+    copy->attach_telemetry(nullptr);
+    copy->attach_context(nullptr);
+    return copy;
+  }
+
  private:
   FmConfig config_;
 };

@@ -53,6 +53,12 @@ class KlPartitioner final : public Bipartitioner {
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 
+  std::unique_ptr<Bipartitioner> clone() const override {
+    auto copy = std::make_unique<KlPartitioner>(config_);
+    copy->attach_context(nullptr);
+    return copy;
+  }
+
  private:
   KlConfig config_;
 };

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,13 @@ class Bipartitioner {
   virtual PartitionResult run(const Hypergraph& g,
                               const BalanceConstraint& balance,
                               std::uint64_t seed) = 0;
+
+  /// Independent copy with the same configuration but detached telemetry /
+  /// context hooks — the factory the parallel multi-start runner uses to
+  /// give every concurrent run its own partitioner instance.  The default
+  /// returns null ("not cloneable"); run_many with threads > 1 requires a
+  /// non-null clone.  Every partitioner in the suite overrides this.
+  virtual std::unique_ptr<Bipartitioner> clone() const { return nullptr; }
 
   /// Routes per-pass telemetry of subsequent run() calls into `telemetry`
   /// (null detaches).  Returns false if the partitioner records none

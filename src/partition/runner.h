@@ -6,6 +6,14 @@
 // or trips a fault injection is recorded in its RunRecord and the multi-start
 // continues with the remaining seeds.  run_many throws only when *every*
 // attempted run failed to produce a validated partition.
+//
+// Parallel multi-start (RunnerOptions::threads >= 1) dispatches the N
+// independent seeded runs onto a fixed thread pool against the shared
+// read-only Hypergraph, one cloned partitioner per run, and merges per-run
+// results in seed order with a deterministic best-selection, so the output
+// is byte-identical for any thread count (timing fields aside — see
+// StatsJsonOptions::include_timing).  The determinism contract is spelled
+// out in DESIGN.md §4e.
 #pragma once
 
 #include <cstdint>
@@ -29,7 +37,8 @@ namespace prop {
 struct RunOutcome {
   PartitionResult result;  ///< valid() only when a validated partition exists
   Status status;
-  double seconds = 0.0;  ///< CPU seconds of this run
+  double wall_seconds = 0.0;  ///< wall-clock seconds of this run
+  double cpu_seconds = 0.0;   ///< CPU seconds of this run (calling thread)
   std::vector<DegradationEvent> degradations;  ///< fallbacks taken in-run
 
   bool ok() const noexcept { return status.ok(); }
@@ -41,6 +50,11 @@ struct RunRecord {
   std::uint64_t seed = 0;
   Status status;
   double cut = -1.0;  ///< cut of the validated partition; < 0 when none
+  double wall_seconds = 0.0;  ///< wall-clock seconds of the run
+  double cpu_seconds = 0.0;   ///< CPU seconds of the run (its own thread)
+  /// Deprecated alias of cpu_seconds (the historical field was documented
+  /// as CPU seconds); kept for one release, mirrored into the "seconds"
+  /// JSON key.
   double seconds = 0.0;
   std::vector<DegradationEvent> degradations;
 
@@ -49,8 +63,22 @@ struct RunRecord {
 
 struct MultiRunResult {
   PartitionResult best;
+  std::uint64_t best_seed = 0;  ///< seed of the run that produced `best`
   std::vector<double> cuts;    ///< cut of every *successful* run, in run order
-  double total_seconds = 0.0;  ///< CPU time over all attempted runs
+
+  // Timing, split by semantics: wall is harness elapsed time (what a user
+  // waits for), cpu is the sum of per-run thread-CPU seconds (the paper's
+  // Table 4 "CPU secs per run" metric).  Sequentially the two are nearly
+  // equal; with threads > 1 they diverge by roughly the thread count.
+  double total_wall_seconds = 0.0;
+  double total_cpu_seconds = 0.0;
+  double wall_seconds_per_run = 0.0;  ///< total_wall_seconds / runs_attempted
+  double cpu_seconds_per_run = 0.0;   ///< total_cpu_seconds / runs_attempted
+
+  /// Deprecated aliases of the CPU fields (the historical names were
+  /// documented as CPU seconds but consumed as wall time by the Table 4
+  /// driver); kept for one release.
+  double total_seconds = 0.0;
   double seconds_per_run = 0.0;
 
   /// Overall status: ok when every requested run was attempted; the stop
@@ -100,6 +128,20 @@ struct RunnerOptions {
   /// Optional runtime context threaded into every run (deadline polls,
   /// fault injection, degradation log).  Null = inert.
   const RunContext* context = nullptr;
+
+  /// 0 (default): the legacy sequential path — runs share `context`
+  /// verbatim (one injector counter stream across runs, a stop skips the
+  /// remaining seeds).
+  ///
+  /// >= 1: the deterministic dispatch path — a pool of `threads` workers,
+  /// one cloned partitioner and one forked runtime context per run.  Fault
+  /// injection is per-run ('@N' counts within each run), every requested
+  /// run is attempted (a broadcast stop makes pending runs finish at their
+  /// first poll with their best validated prefix), and results are merged
+  /// in seed order, so any `threads` value produces identical output.
+  /// Requires Bipartitioner::clone(); throws std::invalid_argument when the
+  /// partitioner does not support it.
+  int threads = 0;
 };
 
 /// One run of `partitioner`, never throwing on a bad run: exceptions,
@@ -110,23 +152,34 @@ RunOutcome run_checked(Bipartitioner& partitioner, const Hypergraph& g,
                        const BalanceConstraint& balance, std::uint64_t seed,
                        const RunContext* context = nullptr);
 
-/// Runs `partitioner` `runs` times with seeds derived from `base_seed`,
-/// keeping the best validated result.  A failing run is recorded and the
-/// remaining seeds still execute; throws std::runtime_error only when every
-/// attempted run failed.  With an expired/cancelled context, run 0 is still
-/// attempted (the engines stop at their first poll and return their
+/// Runs `partitioner` `runs` times with seeds derived from `base_seed` by
+/// SplitMix64 mixing (mix_seed(base_seed, run) — identical for every
+/// schedule and thread count), keeping the best validated result; cut ties
+/// break to the earliest run in seed order.  A failing run is recorded and
+/// the remaining seeds still execute; throws std::runtime_error only when
+/// every attempted run failed.  With an expired/cancelled context, run 0 is
+/// still attempted (the engines stop at their first poll and return their
 /// best-so-far), so `--on-timeout=best` always has a result; later runs are
-/// skipped and the overall status carries the stop code.
+/// skipped (sequential path) and the overall status carries the stop code.
 MultiRunResult run_many(Bipartitioner& partitioner, const Hypergraph& g,
                         const BalanceConstraint& balance, int runs,
                         std::uint64_t base_seed,
                         const RunnerOptions& options = {});
 
+struct StatsJsonOptions {
+  /// Emit measured wall/CPU seconds.  Disable to get the byte-identical
+  /// serialization the parallel determinism contract promises across
+  /// thread counts (timing is the one physically schedule-dependent field).
+  bool include_timing = true;
+};
+
 /// Dumps a multi-run trajectory as one JSON object:
 ///   {"circuit": ..., "algo": ..., "outcome": ..., "best_cut": ...,
 ///    "run_records": [...], "runs": [...]}
 /// (the per-run / per-pass schema is documented in EXPERIMENTS.md).
+/// All doubles are emitted at round-trip precision (17 significant digits).
 void write_stats_json(std::ostream& out, const std::string& circuit,
-                      const std::string& algo, const MultiRunResult& result);
+                      const std::string& algo, const MultiRunResult& result,
+                      const StatsJsonOptions& json_options = {});
 
 }  // namespace prop

@@ -44,6 +44,12 @@ class ParaboliPartitioner final : public Bipartitioner {
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 
+  std::unique_ptr<Bipartitioner> clone() const override {
+    auto copy = std::make_unique<ParaboliPartitioner>(config_);
+    copy->attach_context(nullptr);
+    return copy;
+  }
+
  private:
   ParaboliConfig config_;
 };

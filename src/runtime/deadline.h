@@ -6,10 +6,16 @@
 // cheap by construction: the token only consults the clock every
 // kPollStride-th call (a counter increment and mask otherwise), so the FM
 // family's million-moves-per-second loops can poll every move without a
-// measurable slowdown.  None of this is thread-safe — the runtime layer is
-// single-threaded like the rest of the reproduction.
+// measurable slowdown.
+//
+// Threading model: a CancelToken is owned and polled by exactly one thread.
+// The only cross-thread primitive is StopBroadcast — a lock-free latch the
+// parallel multi-start runner shares between its per-worker tokens so that
+// one worker observing a deadline expiry (or an external cancellation)
+// stops every sibling at its next poll.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -41,6 +47,33 @@ class Deadline {
   bool unlimited_ = true;
 };
 
+/// Sticky one-shot stop latch shared across threads.  The first publish
+/// wins; later publishes are ignored.  Injected faults are deliberately
+/// *not* published by CancelToken (see cancel() below): they are a per-run
+/// failure-isolation mechanism, and broadcasting them would make a parallel
+/// multi-start's results depend on worker scheduling.
+class StopBroadcast {
+ public:
+  bool stopped() const noexcept {
+    return code_.load(std::memory_order_relaxed) !=
+           static_cast<int>(StatusCode::kOk);
+  }
+
+  StatusCode code() const noexcept {
+    return static_cast<StatusCode>(code_.load(std::memory_order_relaxed));
+  }
+
+  /// Publishes `reason` unless a stop was already published.
+  void publish(StatusCode reason) noexcept {
+    int expected = static_cast<int>(StatusCode::kOk);
+    code_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                  std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> code_{static_cast<int>(StatusCode::kOk)};
+};
+
 /// Poll-based cooperative cancellation: deadline expiry, explicit cancel(),
 /// or an injected fault all funnel into one sticky stop flag.
 class CancelToken {
@@ -48,33 +81,55 @@ class CancelToken {
   CancelToken() noexcept : deadline_(Deadline::never()) {}
   explicit CancelToken(Deadline deadline) noexcept : deadline_(deadline) {}
 
+  /// Links this token to a shared latch: every poll observes a published
+  /// stop, and this token's own deadline expiry / explicit cancellation is
+  /// published for sibling tokens.  The broadcast must outlive the token.
+  void bind_broadcast(StopBroadcast* broadcast) noexcept {
+    broadcast_ = broadcast;
+  }
+
   /// The poll point for hot loops.  Counts calls and consults the deadline
-  /// only every kPollStride-th call; once stopped, stays stopped.
+  /// only every kPollStride-th call (a broadcast stop is observed on every
+  /// call — one relaxed atomic load); once stopped, stays stopped.
   bool should_stop() noexcept {
     if (stopped_) return true;
+    if (broadcast_ && broadcast_->stopped()) {
+      stopped_ = true;
+      reason_ = broadcast_->code();
+      return true;
+    }
     if ((++polls_ & (kPollStride - 1)) != 0) return false;
     return check_deadline();
   }
 
-  /// Stops the token immediately with `reason`.
+  /// Stops the token immediately with `reason`.  Budget expiry and explicit
+  /// cancellation are broadcast to sibling tokens; kInjectedFault stays
+  /// local to this token so injected faults remain per-run-isolated (and
+  /// parallel results schedule-independent).
   void cancel(StatusCode reason = StatusCode::kCancelled) noexcept {
     if (!stopped_) {
       stopped_ = true;
       reason_ = reason;
+      if (broadcast_ && (reason == StatusCode::kCancelled ||
+                         reason == StatusCode::kBudgetExhausted)) {
+        broadcast_->publish(reason);
+      }
     }
   }
 
   /// Side-effect-free query: has a stop already been observed/requested?
   /// (Unlike should_stop(), does not advance the poll counter, but does
-  /// honor an already-expired deadline.)
+  /// honor an already-expired deadline and a published broadcast stop.)
   bool stop_requested() const noexcept {
-    return stopped_ || (!deadline_.unlimited() && deadline_.expired());
+    return stopped_ || (broadcast_ && broadcast_->stopped()) ||
+           (!deadline_.unlimited() && deadline_.expired());
   }
 
   /// Why the token stopped (kOk while still running).  Deadline expiry
   /// observed via stop_requested() alone reports kBudgetExhausted.
   StatusCode stop_code() const noexcept {
     if (stopped_) return reason_;
+    if (broadcast_ && broadcast_->stopped()) return broadcast_->code();
     if (!deadline_.unlimited() && deadline_.expired()) {
       return StatusCode::kBudgetExhausted;
     }
@@ -94,11 +149,13 @@ class CancelToken {
     if (!deadline_.unlimited() && deadline_.expired()) {
       stopped_ = true;
       reason_ = StatusCode::kBudgetExhausted;
+      if (broadcast_) broadcast_->publish(StatusCode::kBudgetExhausted);
     }
     return stopped_;
   }
 
   Deadline deadline_;
+  StopBroadcast* broadcast_ = nullptr;
   std::uint64_t polls_ = 0;
   bool stopped_ = false;
   StatusCode reason_ = StatusCode::kOk;

@@ -33,8 +33,20 @@ const char* to_string(FaultSite site) noexcept {
   return "unknown";
 }
 
+FaultInjector FaultInjector::fork(std::uint64_t salt) const {
+  FaultInjector out(*this);
+  out.rng_ = Rng(mix_seed(seed_, salt));
+  for (auto& slot : out.rules_) {
+    if (slot) {
+      slot->queries = 0;
+      slot->fires = 0;
+    }
+  }
+  return out;
+}
+
 FaultInjector::FaultInjector(const std::string& spec, std::uint64_t seed)
-    : rng_(seed) {
+    : rng_(seed), seed_(seed) {
   std::string_view rest = spec;
   while (!rest.empty()) {
     const auto comma = rest.find(',');

@@ -58,6 +58,14 @@ class FaultInjector {
   explicit FaultInjector(const std::string& spec,
                          std::uint64_t seed = 0x5eedfa017ULL);
 
+  /// Derives an independent injector with the same armed rules: query/fire
+  /// counters reset to zero and the probability stream reseeded by mixing
+  /// `salt` into this injector's seed.  The parallel runner forks one
+  /// injector per run, so '@N' means "the run's N-th query" regardless of
+  /// how runs are scheduled across workers, and '~P' streams are
+  /// uncorrelated between runs but identical for a given (spec, seed, salt).
+  FaultInjector fork(std::uint64_t salt) const;
+
   bool armed(FaultSite site) const noexcept;
 
   /// Advances the site's query counter and reports whether this query
@@ -78,6 +86,7 @@ class FaultInjector {
 
   std::array<std::optional<Rule>, kNumFaultSites> rules_;
   Rng rng_;
+  std::uint64_t seed_ = 0x5eedfa017ULL;
 };
 
 }  // namespace prop

@@ -39,6 +39,12 @@ class Eig1Partitioner final : public Bipartitioner {
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 
+  std::unique_ptr<Bipartitioner> clone() const override {
+    auto copy = std::make_unique<Eig1Partitioner>(config_);
+    copy->attach_context(nullptr);
+    return copy;
+  }
+
  private:
   Eig1Config config_;
 };

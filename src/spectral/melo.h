@@ -45,6 +45,12 @@ class MeloPartitioner final : public Bipartitioner {
   PartitionResult run(const Hypergraph& g, const BalanceConstraint& balance,
                       std::uint64_t seed) override;
 
+  std::unique_ptr<Bipartitioner> clone() const override {
+    auto copy = std::make_unique<MeloPartitioner>(config_);
+    copy->attach_context(nullptr);
+    return copy;
+  }
+
  private:
   MeloConfig config_;
 };

@@ -71,7 +71,7 @@ GainContainerOps RefineTelemetry::total_ops() const noexcept {
   return total;
 }
 
-void write_json(std::ostream& out, const PassStats& s) {
+void write_json(std::ostream& out, const PassStats& s, bool include_timing) {
   out << "{\"pass\":" << s.pass;
   out << ",\"cut_before\":";
   put_double(out, s.cut_before);
@@ -82,10 +82,12 @@ void write_json(std::ostream& out, const PassStats& s) {
   out << ",\"rollback_depth\":" << s.rollback_depth();
   out << ",\"best_prefix_gain\":";
   put_double(out, s.best_prefix_gain);
-  out << ",\"wall_seconds\":";
-  put_double(out, s.wall_seconds);
-  out << ",\"cpu_seconds\":";
-  put_double(out, s.cpu_seconds);
+  if (include_timing) {
+    out << ",\"wall_seconds\":";
+    put_double(out, s.wall_seconds);
+    out << ",\"cpu_seconds\":";
+    put_double(out, s.cpu_seconds);
+  }
   out << ",\"container_ops\":{\"inserts\":" << s.ops.inserts
       << ",\"erases\":" << s.ops.erases << ",\"updates\":" << s.ops.updates
       << "}";
@@ -96,25 +98,29 @@ void write_json(std::ostream& out, const PassStats& s) {
   out << "}";
 }
 
-void write_json(std::ostream& out, const RefineTelemetry& t) {
+void write_json(std::ostream& out, const RefineTelemetry& t,
+                bool include_timing) {
   out << "[";
   bool first = true;
   for (const PassStats& s : t.passes) {
     if (!first) out << ",";
     first = false;
-    write_json(out, s);
+    write_json(out, s, include_timing);
   }
   out << "]";
 }
 
-void write_json(std::ostream& out, const RunTelemetry& r) {
+void write_json(std::ostream& out, const RunTelemetry& r,
+                bool include_timing) {
   out << "{\"seed\":" << r.seed;
   out << ",\"cut\":";
   put_double(out, r.cut);
-  out << ",\"seconds\":";
-  put_double(out, r.seconds);
+  if (include_timing) {
+    out << ",\"seconds\":";
+    put_double(out, r.seconds);
+  }
   out << ",\"passes\":";
-  write_json(out, r.refine);
+  write_json(out, r.refine, include_timing);
   out << "}";
 }
 

@@ -89,9 +89,15 @@ struct RunTelemetry {
 };
 
 // JSON emission (hand-rolled; the schema is documented in EXPERIMENTS.md).
-void write_json(std::ostream& out, const PassStats& s);
-void write_json(std::ostream& out, const RefineTelemetry& t);
-void write_json(std::ostream& out, const RunTelemetry& r);
+// `include_timing = false` omits the measured wall/CPU seconds fields — the
+// one part of the schema that cannot be byte-identical across repeated or
+// parallel runs (see StatsJsonOptions in partition/runner.h).
+void write_json(std::ostream& out, const PassStats& s,
+                bool include_timing = true);
+void write_json(std::ostream& out, const RefineTelemetry& t,
+                bool include_timing = true);
+void write_json(std::ostream& out, const RunTelemetry& r,
+                bool include_timing = true);
 std::string to_json(const RefineTelemetry& t);
 
 }  // namespace prop

@@ -26,10 +26,28 @@ class WallTimer {
 };
 
 /// Process CPU-time stopwatch (user + system), matching the paper's
-/// "CPU times in secs per run" methodology.
+/// "CPU times in secs per run" methodology.  Counts the CPU time of *all*
+/// threads of the process; for the per-run columns of a parallel
+/// multi-start use ThreadCpuTimer instead.
 class CpuTimer {
  public:
   CpuTimer() noexcept { reset(); }
+  void reset() noexcept { start_ = now(); }
+  double seconds() const noexcept { return now() - start_; }
+
+ private:
+  static double now() noexcept;
+  double start_ = 0.0;
+};
+
+/// CPU-time stopwatch scoped to the calling thread.  This is the
+/// paper-comparable "CPU seconds of this run" metric: it stays correct when
+/// independent runs execute concurrently on a thread pool, where process
+/// CPU time would charge every run with its siblings' work.  Construct and
+/// read on the same thread.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() noexcept { reset(); }
   void reset() noexcept { start_ = now(); }
   double seconds() const noexcept { return now() - start_; }
 

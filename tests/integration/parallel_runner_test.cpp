@@ -1,0 +1,237 @@
+// Determinism contract of the parallel multi-start runner (DESIGN.md §4e):
+// for every thread count the best cut, per-run cuts, run records and the
+// timing-free stats JSON are identical — including under an expired time
+// budget and under injected mid-pass cancellation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/window.h"
+#include "core/prop_partitioner.h"
+#include "fm/fm_partitioner.h"
+#include "kl/kl_partitioner.h"
+#include "la/la_partitioner.h"
+#include "partition/runner.h"
+#include "placement/paraboli.h"
+#include "runtime/run_context.h"
+#include "spectral/eig1.h"
+#include "spectral/melo.h"
+#include "testutil.h"
+
+namespace prop {
+namespace {
+
+std::string stats_json_without_timing(const MultiRunResult& r) {
+  StatsJsonOptions json_options;
+  json_options.include_timing = false;
+  std::ostringstream out;
+  write_stats_json(out, "circuit", "algo", r, json_options);
+  return out.str();
+}
+
+void expect_equal_results(const MultiRunResult& a, const MultiRunResult& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.best_cut(), b.best_cut()) << label;
+  EXPECT_EQ(a.best_seed, b.best_seed) << label;
+  EXPECT_EQ(a.best.side, b.best.side) << label;
+  EXPECT_EQ(a.cuts, b.cuts) << label;
+  EXPECT_EQ(a.status.code, b.status.code) << label;
+  ASSERT_EQ(a.records.size(), b.records.size()) << label;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].seed, b.records[i].seed) << label << " run " << i;
+    EXPECT_EQ(a.records[i].status.code, b.records[i].status.code)
+        << label << " run " << i;
+    EXPECT_EQ(a.records[i].cut, b.records[i].cut) << label << " run " << i;
+  }
+  // The serialized form (timing aside) must be byte-identical.
+  EXPECT_EQ(stats_json_without_timing(a), stats_json_without_timing(b))
+      << label;
+}
+
+MultiRunResult sweep(Bipartitioner& algo, const Hypergraph& g, int runs,
+                     int threads, const RunContext* context = nullptr,
+                     bool telemetry = false) {
+  RunnerOptions options;
+  options.threads = threads;
+  options.context = context;
+  options.collect_telemetry = telemetry;
+  return run_many(algo, g, BalanceConstraint::forty_five(g), runs, 1, options);
+}
+
+TEST(ParallelRunner, EveryPartitionerSupportsClone) {
+  const Hypergraph g = testing::chain_of_blocks(3, 8);
+  const BalanceConstraint balance = BalanceConstraint::forty_five(g);
+  std::vector<std::unique_ptr<Bipartitioner>> algos;
+  algos.push_back(std::make_unique<FmPartitioner>());
+  algos.push_back(std::make_unique<FmPartitioner>(
+      FmConfig{FmStructure::kTree}));
+  algos.push_back(std::make_unique<LaPartitioner>(LaConfig{2}));
+  algos.push_back(std::make_unique<KlPartitioner>());
+  algos.push_back(std::make_unique<PropPartitioner>());
+  algos.push_back(std::make_unique<Eig1Partitioner>());
+  algos.push_back(std::make_unique<MeloPartitioner>());
+  algos.push_back(std::make_unique<ParaboliPartitioner>());
+  algos.push_back(std::make_unique<WindowPartitioner>());
+  for (const auto& algo : algos) {
+    const std::unique_ptr<Bipartitioner> copy = algo->clone();
+    ASSERT_NE(copy, nullptr) << algo->name();
+    EXPECT_EQ(copy->name(), algo->name());
+    // The clone reproduces the original bit-for-bit from the same seed.
+    const RunOutcome a = run_checked(*algo, g, balance, 5);
+    const RunOutcome b = run_checked(*copy, g, balance, 5);
+    ASSERT_TRUE(a.has_result()) << algo->name();
+    ASSERT_TRUE(b.has_result()) << algo->name();
+    EXPECT_EQ(a.result.cut_cost, b.result.cut_cost) << algo->name();
+    EXPECT_EQ(a.result.side, b.result.side) << algo->name();
+  }
+}
+
+TEST(ParallelRunner, ThreadCountDoesNotChangeResults) {
+  const Hypergraph g = testing::small_random_circuit();
+  FmPartitioner fm;
+  const MultiRunResult t1 = sweep(fm, g, 8, 1, nullptr, true);
+  const MultiRunResult t2 = sweep(fm, g, 8, 2, nullptr, true);
+  const MultiRunResult t8 = sweep(fm, g, 8, 8, nullptr, true);
+  expect_equal_results(t1, t2, "fm threads 1 vs 2");
+  expect_equal_results(t1, t8, "fm threads 1 vs 8");
+  ASSERT_EQ(t1.telemetry.size(), 8u);
+  ASSERT_EQ(t8.telemetry.size(), 8u);
+  for (std::size_t i = 0; i < t1.telemetry.size(); ++i) {
+    EXPECT_EQ(t1.telemetry[i].seed, t8.telemetry[i].seed);
+    EXPECT_EQ(t1.telemetry[i].cut, t8.telemetry[i].cut);
+    EXPECT_EQ(t1.telemetry[i].refine.passes.size(),
+              t8.telemetry[i].refine.passes.size());
+  }
+}
+
+TEST(ParallelRunner, PropMatchesAcrossThreadCounts) {
+  const Hypergraph g = testing::chain_of_blocks(4, 10);
+  PropPartitioner prop_algo;
+  const MultiRunResult t1 = sweep(prop_algo, g, 6, 1);
+  const MultiRunResult t3 = sweep(prop_algo, g, 6, 3);
+  expect_equal_results(t1, t3, "prop threads 1 vs 3");
+}
+
+TEST(ParallelRunner, ParallelPathMatchesLegacySequentialPath) {
+  const Hypergraph g = testing::small_random_circuit();
+  FmPartitioner fm;
+  // Without a runtime context the sequential path has no shared state, so
+  // the dispatch paths must agree exactly.
+  const MultiRunResult sequential = sweep(fm, g, 6, 0);
+  const MultiRunResult parallel = sweep(fm, g, 6, 2);
+  expect_equal_results(sequential, parallel, "threads 0 vs 2");
+}
+
+TEST(ParallelRunner, MoreThreadsThanRunsIsFine) {
+  const Hypergraph g = testing::chain_of_blocks(3, 6);
+  FmPartitioner fm;
+  const MultiRunResult r = sweep(fm, g, 2, 8);
+  EXPECT_EQ(r.runs_attempted(), 2);
+  EXPECT_TRUE(r.best.valid());
+}
+
+TEST(ParallelRunner, RequiresCloneSupport) {
+  // A partitioner without a clone() override cannot be dispatched.
+  class NoClone : public Bipartitioner {
+   public:
+    std::string name() const override { return "no-clone"; }
+    PartitionResult run(const Hypergraph& g, const BalanceConstraint&,
+                        std::uint64_t) override {
+      PartitionResult r;
+      r.side.assign(g.num_nodes(), 0);
+      return r;
+    }
+  };
+  const Hypergraph g = testing::chain_of_blocks(2, 4);
+  NoClone algo;
+  RunnerOptions options;
+  options.threads = 2;
+  EXPECT_THROW(
+      run_many(algo, g, BalanceConstraint::fifty_fifty(g), 2, 1, options),
+      std::invalid_argument);
+}
+
+TEST(ParallelRunner, ExpiredBudgetIsDeterministicAcrossThreadCounts) {
+  const Hypergraph g = testing::small_random_circuit();
+  FmPartitioner fm;
+  const int runs = 6;
+  std::vector<MultiRunResult> results;
+  for (const int threads : {1, 2, 8}) {
+    // An already-expired budget is the one budget whose stop points are
+    // schedule-independent: every poll observes it.
+    CancelToken token(Deadline::after_ms(0));
+    RunContext context;
+    context.cancel = &token;
+    results.push_back(sweep(fm, g, runs, threads, &context));
+    const MultiRunResult& r = results.back();
+    // All requested runs are attempted — a stop never skips seeds on the
+    // parallel path — and each kept its best validated prefix.
+    EXPECT_EQ(r.runs_attempted(), runs);
+    EXPECT_EQ(r.status.code, StatusCode::kBudgetExhausted);
+    EXPECT_TRUE(r.best.valid());
+    for (const RunRecord& rec : r.records) {
+      EXPECT_EQ(rec.status.code, StatusCode::kBudgetExhausted);
+      EXPECT_TRUE(rec.produced_result());
+    }
+  }
+  expect_equal_results(results[0], results[1], "expired budget 1 vs 2");
+  expect_equal_results(results[0], results[2], "expired budget 1 vs 8");
+}
+
+TEST(ParallelRunner, InjectedCancelStaysRunLocal) {
+  const Hypergraph g = testing::small_random_circuit();
+  FmPartitioner fm;
+  const int runs = 6;
+  std::vector<MultiRunResult> results;
+  for (const int threads : {1, 2, 8}) {
+    // '@40' counts polls *within each run* (the dispatcher forks one
+    // injector per run), so the faulting poll is schedule-independent.
+    FaultInjector injector("cancel-mid-pass@40");
+    DegradationLog log;
+    RunContext context;
+    context.injector = &injector;
+    context.degradations = &log;
+    results.push_back(sweep(fm, g, runs, threads, &context));
+    const MultiRunResult& r = results.back();
+    // The injected fault cancels its own run but is never broadcast: every
+    // run is attempted and the sweep itself finishes cleanly.
+    EXPECT_EQ(r.runs_attempted(), runs);
+    EXPECT_TRUE(r.status.ok());
+    int faulted = 0;
+    for (const RunRecord& rec : r.records) {
+      EXPECT_TRUE(rec.produced_result());
+      if (rec.status.code == StatusCode::kInjectedFault) ++faulted;
+    }
+    EXPECT_EQ(faulted, runs);
+  }
+  expect_equal_results(results[0], results[1], "injected cancel 1 vs 2");
+  expect_equal_results(results[0], results[2], "injected cancel 1 vs 8");
+}
+
+TEST(ParallelRunner, MergesDegradationsInSeedOrder) {
+  const Hypergraph g = testing::small_random_circuit();
+  FmPartitioner fm;
+  std::vector<std::vector<std::string>> logs;
+  for (const int threads : {1, 4}) {
+    FaultInjector injector("cancel-mid-pass@25");
+    DegradationLog log;
+    RunContext context;
+    context.injector = &injector;
+    context.degradations = &log;
+    sweep(fm, g, 5, threads, &context);
+    std::vector<std::string> sites;
+    for (const DegradationEvent& e : log.events()) {
+      sites.push_back(e.site + "/" + e.action + "/" + e.detail);
+    }
+    logs.push_back(std::move(sites));
+  }
+  // The caller-visible degradation trail is merged in seed order, never in
+  // completion order.
+  EXPECT_EQ(logs[0], logs[1]);
+}
+
+}  // namespace
+}  // namespace prop

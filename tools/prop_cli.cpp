@@ -59,7 +59,8 @@ std::unique_ptr<prop::Bipartitioner> make_algo(const std::string& name) {
 constexpr const char* kUsage =
     "[--hgr FILE | --circuit NAME] [--algo NAME]\n"
     "          [--runs N] [--balance 50-50|45-55] [--k K]\n"
-    "          [--seed N] [--out FILE] [--stats-json FILE] [--list]\n"
+    "          [--seed N] [--threads N] [--out FILE]\n"
+    "          [--stats-json FILE] [--stats-timing=0|1] [--list]\n"
     "          [--time-budget-ms N] [--on-timeout=best|fail]\n"
     "          [--inject=SPEC] [--inject-seed N]";
 
@@ -78,7 +79,8 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> known = {"hgr",  "circuit", "algo", "runs",
                                     "balance", "k",    "seed", "out",
-                                    "stats-json", "list"};
+                                    "stats-json", "stats-timing", "list",
+                                    "threads"};
   for (const auto& name : prop::runtime_flag_names()) known.push_back(name);
   if (!prop::validate_flags(args, known, kUsage)) return 2;
 
@@ -115,6 +117,11 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int runs = static_cast<int>(args.get_int_or("runs", 20));
   const auto k = static_cast<prop::NodeId>(args.get_int_or("k", 2));
+  const int threads = static_cast<int>(args.get_int_or("threads", 0));
+  if (threads < 0) {
+    std::fprintf(stderr, "error: --threads must be >= 0\n");
+    return usage(argv[0]);
+  }
 
   std::optional<prop::RuntimeSession> session;
   try {
@@ -147,14 +154,18 @@ int main(int argc, char** argv) {
     prop::RunnerOptions options;
     options.collect_telemetry = stats_json.has_value();
     options.context = session->context();
+    options.threads = threads;
     const prop::MultiRunResult r =
         prop::run_many(*algo, g, balance, runs, seed, options);
 
     const prop::Partition part(g, r.best.side);
     const prop::PartitionMetrics m = prop::compute_metrics(part);
-    std::printf("%s x%d: best cut = %.0f  mean = %.1f  (%.4f s/run)\n",
-                algo->name().c_str(), r.runs_attempted(), r.best_cut(),
-                r.mean_cut(), r.seconds_per_run);
+    std::printf(
+        "%s x%d: best cut = %.0f  mean = %.1f  (%.4f cpu s/run, %.4f s wall",
+        algo->name().c_str(), r.runs_attempted(), r.best_cut(), r.mean_cut(),
+        r.cpu_seconds_per_run, r.total_wall_seconds);
+    if (threads >= 1) std::printf(", %d threads", threads);
+    std::printf(")\n");
     const std::string degraded =
         prop::describe_degradations(session->degradations());
     if (!degraded.empty()) std::fputs(degraded.c_str(), stderr);
@@ -183,7 +194,9 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: cannot write %s\n", stats_json->c_str());
         return 1;
       }
-      prop::write_stats_json(f, g.name(), algo->name(), r);
+      prop::StatsJsonOptions json_options;
+      json_options.include_timing = args.get_bool_or("stats-timing", true);
+      prop::write_stats_json(f, g.name(), algo->name(), r, json_options);
       f << '\n';
       std::printf("wrote %s\n", stats_json->c_str());
     }
