@@ -56,6 +56,13 @@ std::vector<Variant> variants() {
   c.model.gup = 2.0;
   c.model.glo = -2.0;
   v.push_back({"thresholds=+-2", c});
+
+  // Gain-engine ablation (DESIGN.md Sec. 4f): the scratch oracle must match
+  // the cached default on *quality* — only the runtime differs (see
+  // bench/gain_kernels for the wall-clock comparison).
+  c = {};
+  c.gain_engine = prop::GainEngine::kScratch;
+  v.push_back({"engine=scratch", c});
   return v;
 }
 

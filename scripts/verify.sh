@@ -15,6 +15,14 @@ cmake --preset release
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
+# Perf-regression smoke (Release only — sanitizer builds time nothing
+# meaningful): the gain-kernel microbench on the fast circuit subset must
+# stay within --max-regress of the committed BENCH_gain_kernels.json
+# baseline (exit 4 on regression, exit 6 on a steady-state allocation).
+echo "== gain-kernel perf gate (release) =="
+./build/bench/gain_kernels --fast --baseline BENCH_gain_kernels.json \
+  --out build/BENCH_gain_kernels.json > /dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer pass (--fast) =="
   exit 0
@@ -48,7 +56,7 @@ echo "== tsan build + concurrency suites =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs"
 ctest --preset tsan -j "$jobs" \
-  -R 'ParallelRunner|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector'
+  -R 'ParallelRunner|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector|EngineEquivalence|ProbGainProperty'
 
 echo "== tsan parallel smoke =="
 ./build-tsan/tools/prop_cli --circuit t4 --algo fm --runs 8 --threads 4 \

@@ -1,6 +1,7 @@
 // Configuration of the PROP partitioner (paper Secs. 3 and 4).
 #pragma once
 
+#include "core/prob_gain.h"
 #include "core/probability_model.h"
 #include "runtime/run_context.h"
 #include "telemetry/telemetry.h"
@@ -25,6 +26,26 @@ struct PropConfig {
   /// Gain/probability fixed-point iterations at pass start ("we have used
   /// 2 iterations in our implementations", Sec. 3).
   int refine_iterations = 2;
+
+  /// Which product engine backs the probabilistic gains (DESIGN.md
+  /// Sec. 4f).  kCached is the production path: O(1) incremental
+  /// per-(net, side) products, a net-major bootstrap sweep, and epoch
+  /// renormalization bounding FP drift.  kScratch recomputes every product
+  /// by pin iteration — the pre-cache cost model, kept as the audit oracle
+  /// and the benchmark baseline (bench/gain_kernels).  kShadow answers
+  /// every query through the scratch path while maintaining and
+  /// cross-checking the cache: a shadow run reproduces the scratch run's
+  /// cuts exactly, which is how engine equivalence is asserted
+  /// (tests/integration/engine_equivalence_test.cpp).
+  GainEngine gain_engine = GainEngine::kCached;
+
+  /// Renormalization epoch of the cached engine: every (net, side) product
+  /// is recomputed exactly after this many incremental updates (see
+  /// ProbGainCalculator::kDefaultRenormInterval).  The resulting drift
+  /// bound composes with resync_interval and drift_hard_bound below —
+  /// product drift feeds gain drift, which the audit/resync machinery
+  /// already polices.
+  int renorm_interval = ProbGainCalculator::kDefaultRenormInterval;
 
   /// Number of top-ranked nodes per side whose gains are recomputed after
   /// every move ("a few, say, five, of the top ranked nodes", Sec. 3.4).

@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "core/prob_gain.h"
 #include "core/prop_config.h"
+#include "datastruct/avl_tree.h"
 #include "partition/partition.h"
 #include "partition/partitioner.h"
 
@@ -19,6 +22,64 @@ namespace prop {
 /// Improves `part` in place with PROP passes until no positive gain.
 RefineOutcome prop_refine(Partition& part, const BalanceConstraint& balance,
                           const PropConfig& config = {});
+
+/// Reusable PROP pass engine.  Owns the gain calculator, the per-side AVL
+/// trees and every per-pass scratch vector (gains, deltas, move log, visit
+/// stamps), so repeated passes allocate nothing after construction — the
+/// gain-kernel microbenchmark asserts exactly that.  `part`, `balance` and
+/// `config` must outlive the refiner.  prop_refine() is the convenience
+/// wrapper that adds the pass loop and the deterministic-FM fallback.
+class PropRefiner {
+ public:
+  PropRefiner(Partition& part, const BalanceConstraint& balance,
+              const PropConfig& config);
+
+  /// Runs one PROP pass (steps 3-10 of Fig. 2): bootstrap probabilities,
+  /// speculatively move every feasible node by probabilistic gain, roll
+  /// back to the maximum prefix of immediate gains.  Returns the accepted
+  /// improvement.
+  double run_pass(PassStats* stats = nullptr);
+
+  /// Deadline/cancellation stopped the last pass early (sticky).
+  bool interrupted() const noexcept { return interrupted_; }
+  /// The drift degradation chain gave up on probabilistic gains (sticky);
+  /// the caller should finish with deterministic FM.
+  bool fallback_to_fm() const noexcept { return fallback_to_fm_; }
+  /// Emergency resyncs performed across all passes of this refiner.
+  int emergency_resyncs() const noexcept { return emergency_resyncs_; }
+
+  const ProbGainCalculator& calculator() const noexcept { return calc_; }
+
+ private:
+  using GainTree = AvlTree<double>;
+
+  void bootstrap_probabilities();
+  void refresh_node(NodeId v, PassStats* stats);
+  void resync_gains(PassStats* stats);
+  double audit(PassStats* stats, bool expect_scratch_match) const;
+
+  Partition* part_;
+  const BalanceConstraint* balance_;
+  const PropConfig* config_;
+  ProbGainCalculator calc_;
+  GainTree side0_;
+  GainTree side1_;
+
+  // Per-pass workspace, cleared and reused across passes instead of
+  // reallocated (perf: the bootstrap + move loop must be allocation-free).
+  std::vector<double> gains_;
+  std::vector<double> delta_;
+  std::vector<NodeId> moved_;
+  std::vector<NodeId> to_refresh_;
+  std::vector<std::uint32_t> visit_stamp_;
+  // Pass-start (gain, node) staging for the sorted bulk load of the trees.
+  std::vector<std::pair<double, NodeId>> sort_scratch_[2];
+  std::uint32_t stamp_ = 0;
+
+  bool interrupted_ = false;
+  bool fallback_to_fm_ = false;
+  int emergency_resyncs_ = 0;
+};
 
 class PropPartitioner final : public Bipartitioner {
  public:

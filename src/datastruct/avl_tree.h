@@ -17,6 +17,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 namespace prop {
@@ -29,36 +30,36 @@ class AvlTree {
 
   explicit AvlTree(Handle capacity, Compare cmp = Compare())
       : cmp_(cmp),
-        keys_(capacity),
-        left_(capacity, kNull),
-        right_(capacity, kNull),
-        parent_(capacity, kNull),
-        height_(capacity, 0),
+        nodes_(capacity, Node{Key(), kNull, kNull, kNull, 0}),
         in_tree_(capacity, 0) {}
 
-  Handle capacity() const noexcept { return static_cast<Handle>(keys_.size()); }
+  Handle capacity() const noexcept { return static_cast<Handle>(nodes_.size()); }
   std::uint32_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
   bool contains(Handle h) const noexcept { return in_tree_[h] != 0; }
-  const Key& key(Handle h) const noexcept { return keys_[h]; }
+  const Key& key(Handle h) const noexcept { return nodes_[h].key; }
 
   void clear() {
     if (size_ == 0) return;
     std::fill(in_tree_.begin(), in_tree_.end(), 0);
     root_ = kNull;
+    max_ = kNull;
     size_ = 0;
   }
 
   /// Inserts handle h with the given key.  h must not be present.
   void insert(Handle h, Key key) {
     assert(!contains(h));
-    keys_[h] = std::move(key);
-    left_[h] = right_[h] = kNull;
-    height_[h] = 1;
+    nodes_[h].key = std::move(key);
+    nodes_[h].left = nodes_[h].right = kNull;
+    nodes_[h].height = 1;
     in_tree_[h] = 1;
     ++size_;
+    // Maintain the O(1) max: a new key >= the current max becomes the
+    // rightmost node (ties descend right), i.e. the new max.
+    if (max_ == kNull || !cmp_(nodes_[h].key, nodes_[max_].key)) max_ = h;
     if (root_ == kNull) {
-      parent_[h] = kNull;
+      nodes_[h].parent = kNull;
       root_ = h;
       return;
     }
@@ -66,47 +67,51 @@ class AvlTree {
     for (;;) {
       // Ties descend right so the newest equal-key handle is rightmost,
       // i.e. returned first by max().
-      if (cmp_(keys_[h], keys_[cur])) {
-        if (left_[cur] == kNull) {
-          left_[cur] = h;
+      if (cmp_(nodes_[h].key, nodes_[cur].key)) {
+        if (nodes_[cur].left == kNull) {
+          nodes_[cur].left = h;
           break;
         }
-        cur = left_[cur];
+        cur = nodes_[cur].left;
       } else {
-        if (right_[cur] == kNull) {
-          right_[cur] = h;
+        if (nodes_[cur].right == kNull) {
+          nodes_[cur].right = h;
           break;
         }
-        cur = right_[cur];
+        cur = nodes_[cur].right;
       }
     }
-    parent_[h] = cur;
+    nodes_[h].parent = cur;
     rebalance_up(cur);
   }
 
   /// Removes handle h.  h must be present.
   void erase(Handle h) {
     assert(contains(h));
+    // The max's predecessor (computed while h is still linked) becomes the
+    // new max; the max has no right child, so it never hits the two-child
+    // splice below.
+    if (h == max_) max_ = prev(h);
     Handle rebalance_from = kNull;
-    if (left_[h] != kNull && right_[h] != kNull) {
+    if (nodes_[h].left != kNull && nodes_[h].right != kNull) {
       // Two children: splice in the successor (min of right subtree).
-      Handle s = right_[h];
-      while (left_[s] != kNull) s = left_[s];
-      rebalance_from = (parent_[s] == h) ? s : parent_[s];
+      Handle s = nodes_[h].right;
+      while (nodes_[s].left != kNull) s = nodes_[s].left;
+      rebalance_from = (nodes_[s].parent == h) ? s : nodes_[s].parent;
       // Detach s from its parent (s has no left child).
-      if (parent_[s] != h) {
-        set_child(parent_[s], s, right_[s]);
-        right_[s] = right_[h];
-        parent_[right_[s]] = s;
+      if (nodes_[s].parent != h) {
+        set_child(nodes_[s].parent, s, nodes_[s].right);
+        nodes_[s].right = nodes_[h].right;
+        nodes_[nodes_[s].right].parent = s;
       }
       // Put s where h was.
-      left_[s] = left_[h];
-      if (left_[s] != kNull) parent_[left_[s]] = s;
+      nodes_[s].left = nodes_[h].left;
+      if (nodes_[s].left != kNull) nodes_[nodes_[s].left].parent = s;
       replace_at_parent(h, s);
-      height_[s] = height_[h];
+      nodes_[s].height = nodes_[h].height;
     } else {
-      const Handle child = (left_[h] != kNull) ? left_[h] : right_[h];
-      rebalance_from = parent_[h];
+      const Handle child = (nodes_[h].left != kNull) ? nodes_[h].left : nodes_[h].right;
+      rebalance_from = nodes_[h].parent;
       replace_at_parent(h, child);
     }
     in_tree_[h] = 0;
@@ -114,44 +119,95 @@ class AvlTree {
     if (rebalance_from != kNull) rebalance_up(rebalance_from);
   }
 
-  /// Changes the key of handle h (erase + insert).
+  /// Changes the key of handle h.  Fast path: when the new key still falls
+  /// *strictly* between h's in-order neighbors, h's position in the ordered
+  /// sequence is unchanged and the key is rewritten in place — no structural
+  /// change, no rebalancing.  The strict bounds mean no other handle holds
+  /// the new key, so LIFO tie order is unaffected; ties (and genuine
+  /// reorderings) fall back to erase + insert.  This is the hot operation of
+  /// the refiners' delta updates, where most gain changes are small.
   void update(Handle h, Key key) {
+    assert(contains(h));
+    const Handle p = prev(h);
+    if (p == kNull || cmp_(nodes_[p].key, key)) {
+      const Handle s = next(h);
+      if (s == kNull || cmp_(key, nodes_[s].key)) {
+        // In-order position (and hence the max handle) is unchanged.
+        nodes_[h].key = std::move(key);
+        return;
+      }
+    } else {
+    }
     erase(h);
     insert(h, std::move(key));
   }
 
+  /// Rebuilds the whole tree as the perfectly height-balanced BST over
+  /// `items`, which must be sorted ascending by key, stably: among equal
+  /// keys the "newest" handle comes last.  The in-order sequence (and hence
+  /// max()/prev()/next()/LIFO tie order — everything observable) is exactly
+  /// what inserting the items oldest-first would produce, but the links are
+  /// set up in O(n) instead of n log n root descents.  This is the pass-
+  /// start bulk load of the refiners.
+  void assign_sorted(const std::pair<Key, Handle>* items,
+                     std::uint32_t count) {
+    clear();
+    if (count == 0) return;
+    assert(count <= capacity());
+    root_ = build_range(items, 0, count, kNull);
+    max_ = items[count - 1].second;
+    size_ = count;
+  }
+
   /// Handle with the maximum key (ties: most recently inserted).
-  /// Tree must be non-empty.
+  /// Tree must be non-empty.  O(1): maintained across mutations.
   Handle max() const noexcept {
     assert(!empty());
-    Handle cur = root_;
-    while (right_[cur] != kNull) cur = right_[cur];
-    return cur;
+    return max_;
   }
 
   /// Handle with the minimum key.  Tree must be non-empty.
   Handle min() const noexcept {
     assert(!empty());
     Handle cur = root_;
-    while (left_[cur] != kNull) cur = left_[cur];
+    while (nodes_[cur].left != kNull) cur = nodes_[cur].left;
     return cur;
   }
 
   /// In-order predecessor of h (next handle in descending key order), or
   /// kNull at the minimum.
   Handle prev(Handle h) const noexcept {
-    if (left_[h] != kNull) {
-      Handle cur = left_[h];
-      while (right_[cur] != kNull) cur = right_[cur];
+    if (nodes_[h].left != kNull) {
+      Handle cur = nodes_[h].left;
+      while (nodes_[cur].right != kNull) cur = nodes_[cur].right;
       return cur;
     }
     // No left subtree: the predecessor is the first ancestor of which h
     // lies in the right subtree — climb while we are a left child.
     Handle cur = h;
-    Handle up = parent_[cur];
-    while (up != kNull && left_[up] == cur) {
+    Handle up = nodes_[cur].parent;
+    while (up != kNull && nodes_[up].left == cur) {
       cur = up;
-      up = parent_[cur];
+      up = nodes_[cur].parent;
+    }
+    return up;
+  }
+
+  /// In-order successor of h (next handle in ascending key order), or
+  /// kNull at the maximum.
+  Handle next(Handle h) const noexcept {
+    if (nodes_[h].right != kNull) {
+      Handle cur = nodes_[h].right;
+      while (nodes_[cur].left != kNull) cur = nodes_[cur].left;
+      return cur;
+    }
+    // No right subtree: the successor is the first ancestor of which h
+    // lies in the left subtree — climb while we are a right child.
+    Handle cur = h;
+    Handle up = nodes_[cur].parent;
+    while (up != kNull && nodes_[up].right == cur) {
+      cur = up;
+      up = nodes_[cur].parent;
     }
     return up;
   }
@@ -161,7 +217,7 @@ class AvlTree {
   void for_each_descending(Visitor&& visit) const {
     if (empty()) return;
     for (Handle h = max(); h != kNull; h = prev(h)) {
-      if (!visit(h, keys_[h])) return;
+      if (!visit(h, nodes_[h].key)) return;
     }
   }
 
@@ -170,61 +226,86 @@ class AvlTree {
   bool check_invariants() const {
     std::uint32_t counted = 0;
     const int h = check_subtree(root_, kNull, counted);
-    return h >= 0 && counted == size_;
+    if (h < 0 || counted != size_) return false;
+    // The cached max must be the rightmost node.
+    Handle rightmost = root_;
+    while (rightmost != kNull && nodes_[rightmost].right != kNull) {
+      rightmost = nodes_[rightmost].right;
+    }
+    return max_ == rightmost;
   }
 
  private:
-  int height_of(Handle h) const noexcept { return h == kNull ? 0 : height_[h]; }
+  /// Links items[lo, hi) into a height-balanced subtree under `parent` and
+  /// returns its root.  The mid split keeps subtree sizes within 1 of each
+  /// other, so heights differ by at most 1 — a valid AVL shape.
+  Handle build_range(const std::pair<Key, Handle>* items, std::uint32_t lo,
+                     std::uint32_t hi, Handle parent) {
+    if (lo >= hi) return kNull;
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    const Handle h = items[mid].second;
+    nodes_[h].key = items[mid].first;
+    in_tree_[h] = 1;
+    nodes_[h].parent = parent;
+    nodes_[h].left = build_range(items, lo, mid, h);
+    nodes_[h].right = build_range(items, mid + 1, hi, h);
+    const int hl = height_of(nodes_[h].left);
+    const int hr = height_of(nodes_[h].right);
+    nodes_[h].height = 1 + (hl > hr ? hl : hr);
+    return h;
+  }
+
+  int height_of(Handle h) const noexcept { return h == kNull ? 0 : nodes_[h].height; }
 
   void update_height(Handle h) noexcept {
-    const int hl = height_of(left_[h]);
-    const int hr = height_of(right_[h]);
-    height_[h] = 1 + (hl > hr ? hl : hr);
+    const int hl = height_of(nodes_[h].left);
+    const int hr = height_of(nodes_[h].right);
+    nodes_[h].height = 1 + (hl > hr ? hl : hr);
   }
 
   int balance_factor(Handle h) const noexcept {
-    return height_of(left_[h]) - height_of(right_[h]);
+    return height_of(nodes_[h].left) - height_of(nodes_[h].right);
   }
 
   void set_child(Handle parent, Handle old_child, Handle new_child) noexcept {
-    if (left_[parent] == old_child) {
-      left_[parent] = new_child;
+    if (nodes_[parent].left == old_child) {
+      nodes_[parent].left = new_child;
     } else {
-      right_[parent] = new_child;
+      nodes_[parent].right = new_child;
     }
-    if (new_child != kNull) parent_[new_child] = parent;
+    if (new_child != kNull) nodes_[new_child].parent = parent;
   }
 
   /// Makes `replacement` occupy h's position relative to h's parent/root.
   void replace_at_parent(Handle h, Handle replacement) noexcept {
-    const Handle p = parent_[h];
+    const Handle p = nodes_[h].parent;
     if (p == kNull) {
       root_ = replacement;
-      if (replacement != kNull) parent_[replacement] = kNull;
+      if (replacement != kNull) nodes_[replacement].parent = kNull;
     } else {
       set_child(p, h, replacement);
     }
   }
 
   Handle rotate_left(Handle x) noexcept {
-    const Handle y = right_[x];
-    right_[x] = left_[y];
-    if (left_[y] != kNull) parent_[left_[y]] = x;
+    const Handle y = nodes_[x].right;
+    nodes_[x].right = nodes_[y].left;
+    if (nodes_[y].left != kNull) nodes_[nodes_[y].left].parent = x;
     replace_at_parent(x, y);
-    left_[y] = x;
-    parent_[x] = y;
+    nodes_[y].left = x;
+    nodes_[x].parent = y;
     update_height(x);
     update_height(y);
     return y;
   }
 
   Handle rotate_right(Handle x) noexcept {
-    const Handle y = left_[x];
-    left_[x] = right_[y];
-    if (right_[y] != kNull) parent_[right_[y]] = x;
+    const Handle y = nodes_[x].left;
+    nodes_[x].left = nodes_[y].right;
+    if (nodes_[y].right != kNull) nodes_[nodes_[y].right].parent = x;
     replace_at_parent(x, y);
-    right_[y] = x;
-    parent_[x] = y;
+    nodes_[y].right = x;
+    nodes_[x].parent = y;
     update_height(x);
     update_height(y);
     return y;
@@ -232,16 +313,21 @@ class AvlTree {
 
   void rebalance_up(Handle h) noexcept {
     while (h != kNull) {
+      const int old_height = nodes_[h].height;
       update_height(h);
       const int bf = balance_factor(h);
       if (bf > 1) {
-        if (balance_factor(left_[h]) < 0) rotate_left(left_[h]);
+        if (balance_factor(nodes_[h].left) < 0) rotate_left(nodes_[h].left);
         h = rotate_right(h);
       } else if (bf < -1) {
-        if (balance_factor(right_[h]) > 0) rotate_right(right_[h]);
+        if (balance_factor(nodes_[h].right) > 0) rotate_right(nodes_[h].right);
         h = rotate_left(h);
+      } else if (nodes_[h].height == old_height) {
+        // No rotation and the subtree height is what the ancestors already
+        // account for: nothing above can change.
+        return;
       }
-      h = parent_[h];
+      h = nodes_[h].parent;
     }
   }
 
@@ -249,27 +335,41 @@ class AvlTree {
   int check_subtree(Handle h, Handle expected_parent,
                     std::uint32_t& counted) const {
     if (h == kNull) return 0;
-    if (!in_tree_[h] || parent_[h] != expected_parent) return -1;
+    if (!in_tree_[h] || nodes_[h].parent != expected_parent) return -1;
     ++counted;
-    const int hl = check_subtree(left_[h], h, counted);
-    const int hr = check_subtree(right_[h], h, counted);
+    const int hl = check_subtree(nodes_[h].left, h, counted);
+    const int hr = check_subtree(nodes_[h].right, h, counted);
     if (hl < 0 || hr < 0) return -1;
     if (hl - hr > 1 || hr - hl > 1) return -1;
-    if (left_[h] != kNull && cmp_(keys_[h], keys_[left_[h]])) return -1;
-    if (right_[h] != kNull && cmp_(keys_[right_[h]], keys_[h])) return -1;
+    if (nodes_[h].left != kNull &&
+        cmp_(nodes_[h].key, nodes_[nodes_[h].left].key)) {
+      return -1;
+    }
+    if (nodes_[h].right != kNull &&
+        cmp_(nodes_[nodes_[h].right].key, nodes_[h].key)) {
+      return -1;
+    }
     const int height = 1 + (hl > hr ? hl : hr);
-    if (height != height_[h]) return -1;
+    if (height != nodes_[h].height) return -1;
     return height;
   }
 
+  // Key, links and height are packed into one 24-byte record so that every
+  // hop of a descend / neighbor walk / rebalance touches a single cache
+  // line.
+  struct Node {
+    Key key;
+    Handle left;
+    Handle right;
+    Handle parent;
+    std::int32_t height;
+  };
+
   Compare cmp_;
-  std::vector<Key> keys_;
-  std::vector<Handle> left_;
-  std::vector<Handle> right_;
-  std::vector<Handle> parent_;
-  std::vector<int> height_;
+  std::vector<Node> nodes_;
   std::vector<std::uint8_t> in_tree_;
   Handle root_ = kNull;
+  Handle max_ = kNull;
   std::uint32_t size_ = 0;
 };
 

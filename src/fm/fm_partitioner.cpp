@@ -115,6 +115,13 @@ void fm_audit(const Partition& part, const std::vector<std::uint8_t>& locked,
   }
 }
 
+/// Per-pass scratch hoisted out of fm_pass so repeated passes of one
+/// refine call reuse the same buffers instead of reallocating them.
+struct FmScratch {
+  std::vector<std::uint8_t> locked;
+  std::vector<NodeId> moved;
+};
+
 /// One FM pass: virtually move everything, roll back to the best prefix.
 /// Returns the accepted (positive part of the) improvement.  Sets
 /// `interrupted` when a deadline/cancellation cut the pass short (the
@@ -122,11 +129,12 @@ void fm_audit(const Partition& part, const std::vector<std::uint8_t>& locked,
 template <typename Container>
 double fm_pass(Partition& part, const BalanceConstraint& balance,
                const FmConfig& config, Container& side0, Container& side1,
-               PassStats* stats, bool& interrupted) {
+               FmScratch& scratch, PassStats* stats, bool& interrupted) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
 
-  std::vector<std::uint8_t> locked(n, 0);
+  scratch.locked.assign(n, 0);
+  std::vector<std::uint8_t>& locked = scratch.locked;
   side0.clear();
   side1.clear();
   for (NodeId u = 0; u < n; ++u) {
@@ -134,7 +142,8 @@ double fm_pass(Partition& part, const BalanceConstraint& balance,
   }
   if (stats) stats->ops.inserts += n;
 
-  std::vector<NodeId> moved;
+  scratch.moved.clear();
+  std::vector<NodeId>& moved = scratch.moved;
   moved.reserve(n);
   double prefix = 0.0;
   double best_prefix = 0.0;
@@ -225,6 +234,7 @@ RefineOutcome refine_with(Partition& part, const BalanceConstraint& balance,
       static_cast<int>(part.graph().max_degree()) + 1;
   Container side0(part.graph().num_nodes(), max_gain);
   Container side1(part.graph().num_nodes(), max_gain);
+  FmScratch scratch;
   RefineOutcome out;
   for (int pass = 0; pass < config.max_passes; ++pass) {
     PassStats* stats = nullptr;
@@ -234,8 +244,8 @@ RefineOutcome refine_with(Partition& part, const BalanceConstraint& balance,
       stats = &config.telemetry->begin_pass(part.cut_cost());
     }
     bool interrupted = false;
-    const double gained =
-        fm_pass(part, balance, config, side0, side1, stats, interrupted);
+    const double gained = fm_pass(part, balance, config, side0, side1,
+                                  scratch, stats, interrupted);
     ++out.passes;
     if (stats) {
       stats->cut_after = part.cut_cost();

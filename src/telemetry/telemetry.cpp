@@ -91,6 +91,7 @@ void write_json(std::ostream& out, const PassStats& s, bool include_timing) {
   out << ",\"container_ops\":{\"inserts\":" << s.ops.inserts
       << ",\"erases\":" << s.ops.erases << ",\"updates\":" << s.ops.updates
       << "}";
+  out << ",\"refresh_skips\":" << s.refresh_skips;
   out << ",\"audits\":" << s.audits;
   out << ",\"resyncs\":" << s.resyncs;
   out << ",\"max_gain_drift\":";

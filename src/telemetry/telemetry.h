@@ -49,6 +49,10 @@ struct PassStats {
   double cpu_seconds = 0.0;
   GainContainerOps ops;
 
+  /// Top-of-tree refreshes whose recomputed gain matched the stored value
+  /// within tolerance, skipping the AVL remove/reinsert (PROP only).
+  std::uint64_t refresh_skips = 0;
+
   // Invariant-audit observations (zero unless auditing was enabled).
   std::uint64_t audits = 0;        ///< audit sweeps performed this pass
   std::uint64_t resyncs = 0;       ///< node gains resynced from scratch

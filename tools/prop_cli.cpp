@@ -39,7 +39,15 @@
 
 namespace {
 
-std::unique_ptr<prop::Bipartitioner> make_algo(const std::string& name) {
+std::optional<prop::GainEngine> parse_gain_engine(const std::string& name) {
+  if (name == "cached") return prop::GainEngine::kCached;
+  if (name == "scratch") return prop::GainEngine::kScratch;
+  if (name == "shadow") return prop::GainEngine::kShadow;
+  return std::nullopt;
+}
+
+std::unique_ptr<prop::Bipartitioner> make_algo(const std::string& name,
+                                               prop::GainEngine gain_engine) {
   if (name == "fm") return std::make_unique<prop::FmPartitioner>();
   if (name == "fm-tree") {
     return std::make_unique<prop::FmPartitioner>(
@@ -48,7 +56,11 @@ std::unique_ptr<prop::Bipartitioner> make_algo(const std::string& name) {
   if (name == "la2") return std::make_unique<prop::LaPartitioner>(prop::LaConfig{2});
   if (name == "la3") return std::make_unique<prop::LaPartitioner>(prop::LaConfig{3});
   if (name == "kl") return std::make_unique<prop::KlPartitioner>();
-  if (name == "prop") return std::make_unique<prop::PropPartitioner>();
+  if (name == "prop") {
+    prop::PropConfig config;
+    config.gain_engine = gain_engine;
+    return std::make_unique<prop::PropPartitioner>(config);
+  }
   if (name == "eig1") return std::make_unique<prop::Eig1Partitioner>();
   if (name == "melo") return std::make_unique<prop::MeloPartitioner>();
   if (name == "paraboli") return std::make_unique<prop::ParaboliPartitioner>();
@@ -59,6 +71,7 @@ std::unique_ptr<prop::Bipartitioner> make_algo(const std::string& name) {
 constexpr const char* kUsage =
     "[--hgr FILE | --circuit NAME] [--algo NAME]\n"
     "          [--runs N] [--balance 50-50|45-55] [--k K]\n"
+    "          [--gain-engine=cached|scratch|shadow]\n"
     "          [--seed N] [--threads N] [--out FILE]\n"
     "          [--stats-json FILE] [--stats-timing=0|1] [--list]\n"
     "          [--time-budget-ms N] [--on-timeout=best|fail]\n"
@@ -80,7 +93,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> known = {"hgr",  "circuit", "algo", "runs",
                                     "balance", "k",    "seed", "out",
                                     "stats-json", "stats-timing", "list",
-                                    "threads"};
+                                    "threads", "gain-engine"};
   for (const auto& name : prop::runtime_flag_names()) known.push_back(name);
   if (!prop::validate_flags(args, known, kUsage)) return 2;
 
@@ -107,8 +120,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::string engine_name = args.get_or("gain-engine", "cached");
+  const auto gain_engine = parse_gain_engine(engine_name);
+  if (!gain_engine) {
+    std::fprintf(stderr, "unknown gain engine '%s' (cached|scratch|shadow)\n",
+                 engine_name.c_str());
+    return usage(argv[0]);
+  }
   const std::string algo_name = args.get_or("algo", "prop");
-  const auto algo = make_algo(algo_name);
+  const auto algo = make_algo(algo_name, *gain_engine);
   if (!algo) {
     std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
     return usage(argv[0]);
