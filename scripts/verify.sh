@@ -23,6 +23,13 @@ echo "== gain-kernel perf gate (release) =="
 ./build/bench/gain_kernels --fast --baseline BENCH_gain_kernels.json \
   --out build/BENCH_gain_kernels.json > /dev/null
 
+# Multilevel crossover gate: the 10^3+10^4 subset of bench/multilevel
+# against the committed BENCH_multilevel.json (same >25% wall-regression
+# policy; also re-asserts map/hash merge equivalence in-binary, exit 6).
+echo "== multilevel perf gate (release) =="
+./build/bench/multilevel --fast --baseline BENCH_multilevel.json \
+  --out build/BENCH_multilevel.json > /dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer pass (--fast) =="
   exit 0
@@ -46,6 +53,15 @@ echo "== budgeted-run smoke (asan+ubsan) =="
   --time-budget-ms 1 --on-timeout=best > /dev/null
 ./build-asan/tools/prop_cli --circuit t4 --algo eig1 --runs 1 \
   --inject=lanczos-stall > /dev/null
+
+# Multilevel V-cycle smoke on a 10^4-node circuit under ASan: both
+# refiners drive the full coarsen/contract/project/refine path, which is
+# exactly where stale fine-to-coarse indices or builder misuse would hide.
+echo "== multilevel smoke (asan+ubsan) =="
+./build-asan/tools/prop_cli --circuit s15850 --multilevel \
+  --ml-refiner=prop --runs 1 > /dev/null
+./build-asan/tools/prop_cli --circuit s15850 --multilevel \
+  --ml-refiner=fm --runs 1 > /dev/null
 
 # ThreadSanitizer over everything that touches the thread pool or the
 # cross-thread stop latch: the parallel runner suites, the pool itself, and

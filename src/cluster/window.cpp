@@ -71,23 +71,21 @@ PartitionResult WindowPartitioner::run(const Hypergraph& g,
     if (!best_coarse.valid() || outcome.cut_cost < best_coarse.cut_cost) {
       best_coarse.side = part.sides();
       best_coarse.cut_cost = outcome.cut_cost;
-      ++best_coarse.passes;
+      // The best run's actual refinement passes, not a count of improving
+      // runs — `passes` feeds PartitionResult/--stats-json verbatim.
+      best_coarse.passes = outcome.passes;
     }
   }
 
   // Phase 3: project and refine flat under the true balance window.
-  std::vector<std::uint8_t> flat(g.num_nodes());
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    flat[u] = best_coarse.side[coarse.fine_to_coarse[u]];
-  }
-  Partition part(g, flat);
+  Partition part(g, project_partition(coarse.fine_to_coarse, best_coarse.side));
   repair_balance(part, balance);
   const RefineOutcome outcome = fm_refine(part, balance, config_.fm);
 
   PartitionResult result;
   result.side = part.sides();
   result.cut_cost = outcome.cut_cost;
-  result.passes = outcome.passes;
+  result.passes = best_coarse.passes + outcome.passes;
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "hypergraph/builder.h"
@@ -66,6 +67,19 @@ std::vector<std::size_t> draw_net_sizes(std::size_t num_nets,
 }
 
 }  // namespace
+
+CircuitSpec scaled_spec(std::string name, NodeId nodes) {
+  if (nodes < 2) throw std::invalid_argument("scaled_spec: need >= 2 nodes");
+  CircuitSpec spec;
+  spec.name = std::move(name);
+  spec.num_nodes = nodes;
+  spec.num_nets = static_cast<NetId>(
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(nodes) * 103 / 100));
+  spec.num_pins = std::max<std::size_t>(
+      2 * static_cast<std::size_t>(spec.num_nets),
+      static_cast<std::size_t>(nodes) * 7 / 2);
+  return spec;
+}
 
 Hypergraph generate_circuit(const CircuitSpec& spec, std::uint64_t seed,
                             const GeneratorOptions& options) {

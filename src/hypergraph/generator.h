@@ -50,4 +50,11 @@ struct GeneratorOptions {
 Hypergraph generate_circuit(const CircuitSpec& spec, std::uint64_t seed,
                             const GeneratorOptions& options = {});
 
+/// MCNC-like spec scaled to an arbitrary node count: nets ~= 1.03x nodes
+/// and pins ~= 3.5x nodes, the median ratios of the paper's Table 1 suite,
+/// clamped so every net can hold >= 2 pins.  This is how the multilevel
+/// experiments synthesize 10^4-10^5-node instances beyond Table 1's range
+/// while keeping the Rent-rule cluster structure the generator plants.
+CircuitSpec scaled_spec(std::string name, NodeId nodes);
+
 }  // namespace prop

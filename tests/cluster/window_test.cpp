@@ -55,5 +55,19 @@ TEST(Window, FewerCoarseRunsStillValid) {
   EXPECT_TRUE(validate_result(g, balance, r).ok);
 }
 
+TEST(Window, PassesReportActualRefinementPasses) {
+  const Hypergraph g = testing::small_random_circuit(141);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  WindowConfig config;
+  config.fm.max_passes = 1;
+  WindowPartitioner window(config);
+  const PartitionResult r = window.run(g, balance, 6);
+  // Exactly one capped coarse pass plus one capped flat pass.  The pre-fix
+  // code counted improving coarse *runs* instead of the best run's passes,
+  // so the reported total tracked the multi-start trajectory rather than
+  // the refinement work actually done.
+  EXPECT_EQ(r.passes, 2);
+}
+
 }  // namespace
 }  // namespace prop

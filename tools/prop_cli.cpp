@@ -23,11 +23,13 @@
 #include "cluster/window.h"
 #include "core/prop_partitioner.h"
 #include "fm/fm_partitioner.h"
+#include "hypergraph/generator.h"
 #include "hypergraph/hgr_io.h"
 #include "hypergraph/mcnc_suite.h"
 #include "hypergraph/stats.h"
 #include "kl/kl_partitioner.h"
 #include "la/la_partitioner.h"
+#include "multilevel/multilevel_driver.h"
 #include "partition/metrics.h"
 #include "partition/recursive.h"
 #include "partition/runner.h"
@@ -69,9 +71,10 @@ std::unique_ptr<prop::Bipartitioner> make_algo(const std::string& name,
 }
 
 constexpr const char* kUsage =
-    "[--hgr FILE | --circuit NAME] [--algo NAME]\n"
+    "[--hgr FILE | --circuit NAME | --synth-nodes N] [--algo NAME]\n"
     "          [--runs N] [--balance 50-50|45-55] [--k K]\n"
     "          [--gain-engine=cached|scratch|shadow]\n"
+    "          [--multilevel] [--ml-refiner=prop|fm] [--coarsest-max-nodes N]\n"
     "          [--seed N] [--threads N] [--out FILE]\n"
     "          [--stats-json FILE] [--stats-timing=0|1] [--list]\n"
     "          [--time-budget-ms N] [--on-timeout=best|fail]\n"
@@ -93,7 +96,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> known = {"hgr",  "circuit", "algo", "runs",
                                     "balance", "k",    "seed", "out",
                                     "stats-json", "stats-timing", "list",
-                                    "threads", "gain-engine"};
+                                    "threads", "gain-engine", "multilevel",
+                                    "ml-refiner", "coarsest-max-nodes",
+                                    "synth-nodes"};
   for (const auto& name : prop::runtime_flag_names()) known.push_back(name);
   if (!prop::validate_flags(args, known, kUsage)) return 2;
 
@@ -112,6 +117,18 @@ int main(int argc, char** argv) {
       g = prop::read_hgr_file(*path);
     } else if (const auto name = args.get("circuit")) {
       g = prop::make_mcnc_circuit(*name);
+    } else if (const auto nodes = args.get("synth-nodes")) {
+      // Scaled MCNC-like synthetic instance (multilevel experiments reach
+      // sizes beyond Table 1's range this way).
+      const long long n = args.get_int_or("synth-nodes", 0);
+      if (n < 2) {
+        std::fprintf(stderr, "error: --synth-nodes must be >= 2\n");
+        return usage(argv[0]);
+      }
+      g = prop::generate_circuit(
+          prop::scaled_spec("synth" + std::to_string(n),
+                            static_cast<prop::NodeId>(n)),
+          prop::kSuiteSeed);
     } else {
       return usage(argv[0]);
     }
@@ -127,11 +144,40 @@ int main(int argc, char** argv) {
                  engine_name.c_str());
     return usage(argv[0]);
   }
-  const std::string algo_name = args.get_or("algo", "prop");
-  const auto algo = make_algo(algo_name, *gain_engine);
-  if (!algo) {
-    std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
-    return usage(argv[0]);
+  std::unique_ptr<prop::Bipartitioner> algo;
+  if (args.has("multilevel")) {
+    if (args.has("algo")) {
+      std::fprintf(stderr,
+                   "error: --multilevel selects its own engine; drop --algo "
+                   "and pick the refiner with --ml-refiner=prop|fm\n");
+      return usage(argv[0]);
+    }
+    prop::MultilevelConfig config;
+    const std::string refiner = args.get_or("ml-refiner", "prop");
+    if (refiner == "prop") {
+      config.refiner = prop::MlRefiner::kProp;
+    } else if (refiner == "fm") {
+      config.refiner = prop::MlRefiner::kFm;
+    } else {
+      std::fprintf(stderr, "unknown --ml-refiner '%s' (prop|fm)\n",
+                   refiner.c_str());
+      return usage(argv[0]);
+    }
+    config.prop.gain_engine = *gain_engine;
+    const long long coarsest = args.get_int_or("coarsest-max-nodes", 200);
+    if (coarsest < 2) {
+      std::fprintf(stderr, "error: --coarsest-max-nodes must be >= 2\n");
+      return usage(argv[0]);
+    }
+    config.coarsest_max_nodes = static_cast<prop::NodeId>(coarsest);
+    algo = std::make_unique<prop::MultilevelPartitioner>(config);
+  } else {
+    const std::string algo_name = args.get_or("algo", "prop");
+    algo = make_algo(algo_name, *gain_engine);
+    if (!algo) {
+      std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
+      return usage(argv[0]);
+    }
   }
 
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
