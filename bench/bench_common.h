@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hypergraph/mcnc_suite.h"
@@ -16,10 +18,11 @@ namespace prop::bench {
 /// Unknown-flag gate shared by every bench binary: the bench's own flags
 /// plus the uniform runtime flags (--time-budget-ms etc.).  Returns false
 /// (after printing the usage line) when an unrecognized flag was passed.
+/// Thin alias of the shared prop::check_flags (runtime/runtime_cli.h) so
+/// benches, prop_cli and prop_serve reject malformed input identically.
 inline bool check_flags(const CliArgs& args, std::vector<std::string> known,
                         const std::string& usage) {
-  for (const auto& name : runtime_flag_names()) known.push_back(name);
-  return validate_flags(args, known, usage);
+  return prop::check_flags(args, std::move(known), usage);
 }
 
 /// Collects the first non-ok multi-run status so a bench can finish its
@@ -69,9 +72,12 @@ inline std::vector<std::string> circuit_names(const CliArgs& args) {
 /// sequential path; >= 1 selects the deterministic parallel dispatcher
 /// (DESIGN.md Sec. 4e).  Results are identical either way — only wall
 /// clock changes — so every table harness exposes the flag uniformly.
+/// Delegates to the shared parser; a negative count exits like any other
+/// malformed flag instead of being silently clamped.
 inline int thread_count(const CliArgs& args) {
-  const int threads = static_cast<int>(args.get_int_or("threads", 0));
-  return threads < 0 ? 0 : threads;
+  const auto threads = parse_thread_count(args);
+  if (!threads) std::exit(2);
+  return *threads;
 }
 
 /// Scales a paper run count by --runs-scale (e.g. 0.2 for smoke runs).

@@ -1,0 +1,365 @@
+// Chaos-soak harness for the partitioning job server (DESIGN.md Sec. 4h).
+//
+// For each worker count the soak floods a fresh Server with a mixed-tenant
+// job burst — MCNC circuits plus inline .hgr payloads, mixed priorities,
+// tight deadlines on a slice of the jobs — while fault injection fails a
+// percentage of attempts at validate/serve-exec/cancel sites and the burst
+// deliberately overruns the admission queue so load shedding engages.
+//
+// Hard assertions (exit nonzero on any violation — this is the zero-deaths /
+// zero-lost / zero-duplicates gate wired into verify.sh):
+//   * the server answers every submitted id exactly once,
+//   * every shed response carries a structured shed_overload status,
+//   * a no-shed determinism fleet returns byte-identical responses at every
+//     worker count (timing fields disabled).
+//
+// Output schema (one object per worker count):
+//   {"workers": W, "jobs": N, "wall_seconds": S, "jobs_per_sec": R,
+//    "p50_ms": ..., "p99_ms": ..., "done": ..., "failed": ..., "shed": ...,
+//    "retries": ..., "responses": ...}
+//
+// Flags: --jobs N (default 200), --workers-list 1,2,4, --queue-limit N
+// (default 24), --inject SPEC, --seed N, --out FILE, --fast.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "service/json.h"
+#include "service/server.h"
+#include "util/cli.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::vector<int> parse_workers_list(const std::string& spec) {
+  std::vector<int> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int w = std::atoi(item.c_str());
+    if (w >= 1) out.push_back(w);
+  }
+  return out;
+}
+
+/// A tiny valid inline payload so the soak also exercises the untrusted
+/// .hgr ingest path (8 nodes, 6 nets).
+const char* kInlineHgr =
+    "6 8\\n1 2\\n2 3 4\\n4 5\\n5 6 7\\n7 8\\n1 8 3\\n";
+
+std::string job_line(int i, std::uint64_t seed, bool deterministic) {
+  static const char* kAlgos[] = {"prop", "fm", "la2", "fm-tree"};
+  static const char* kCircuits[] = {"balu", "struct", "bm1"};
+  static const char* kTenants[] = {"alpha", "beta", "gamma"};
+  std::ostringstream line;
+  line << "{\"op\":\"submit\",\"id\":\"job" << i << "\",\"tenant\":\""
+       << kTenants[i % 3] << "\",\"priority\":" << (i % 3)
+       << ",\"algo\":\"" << kAlgos[i % 4] << "\"";
+  if (i % 5 == 4) {
+    line << ",\"hgr\":\"" << kInlineHgr << "\"";
+  } else {
+    line << ",\"circuit\":\"" << kCircuits[i % 3] << "\"";
+  }
+  // A slice of tight deadlines exercises the budget path under load; the
+  // determinism fleet skips them (a deadline race would flip best-so-far).
+  if (!deterministic && i % 11 == 10) line << ",\"deadline_ms\":1";
+  line << ",\"runs\":" << (2 + i % 2) << ",\"seed\":" << (seed + i)
+       << ",\"max_retries\":2,\"stats_timing\":false}";
+  return line.str();
+}
+
+struct SoakResult {
+  int workers = 0;
+  int jobs = 0;
+  double wall_seconds = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t done = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t responses = 0;
+  bool ok = true;
+};
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(rank, values.size() - 1)];
+}
+
+SoakResult run_soak(int workers, int jobs, int queue_limit,
+                    const std::string& inject, std::uint64_t seed) {
+  SoakResult out;
+  out.workers = workers;
+  out.jobs = jobs;
+
+  prop::service::ServerConfig config;
+  config.workers = workers;
+  config.queue_limit = queue_limit;
+  config.inject = inject;
+  config.inject_seed = seed;
+  config.retry_backoff_ms = 0.1;
+  config.retry_backoff_max_ms = 2.0;
+
+  // The sink runs under the server's emit lock, so plain containers are safe.
+  std::vector<std::pair<std::string, Clock::time_point>> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(jobs));
+  prop::service::Server server(config, [&](const std::string& line) {
+    arrivals.emplace_back(line, Clock::now());
+  });
+
+  // Phase 1 — burst: 3x the admission limit submitted back-to-back, which
+  // is guaranteed to overrun the queue and engage the shedder.  Phase 2 —
+  // paced: the client backs off while the queue is saturated, so the
+  // remaining jobs actually execute and the latency percentiles measure
+  // real work, not shed round-trips.
+  const int burst = std::min(jobs, 3 * queue_limit);
+  std::vector<Clock::time_point> submit_at(static_cast<std::size_t>(jobs));
+  const Clock::time_point start = Clock::now();
+  for (int i = 0; i < jobs; ++i) {
+    if (i >= burst) {
+      while (server.queue_depth() >=
+             static_cast<std::size_t>(queue_limit) / 2 + 1) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    submit_at[static_cast<std::size_t>(i)] = Clock::now();
+    if (!server.handle_line(job_line(i, seed, /*deterministic=*/false))) {
+      std::fprintf(stderr, "FATAL: server stopped mid-soak\n");
+      out.ok = false;
+      return out;
+    }
+  }
+  server.drain();
+  out.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  // Exactly-once audit: each submitted id answered exactly once, sheds
+  // carrying a structured status.
+  std::map<std::string, int> seen;
+  std::vector<double> completed_latency_ms;
+  for (const auto& [line, when] : arrivals) {
+    std::string error;
+    const auto v = prop::service::json_parse(line, &error);
+    if (!v) {
+      std::fprintf(stderr, "FATAL: unparseable response (%s): %s\n",
+                   error.c_str(), line.c_str());
+      out.ok = false;
+      continue;
+    }
+    const auto* id = v->find("id");
+    const auto* state = v->find("state");
+    if (!id || !state) {
+      std::fprintf(stderr, "FATAL: response missing id/state: %s\n",
+                   line.c_str());
+      out.ok = false;
+      continue;
+    }
+    ++seen[id->as_string()];
+    const std::string state_name = state->as_string();
+    if (state_name == "shed") {
+      const auto* status = v->find("status");
+      const auto* code = status ? status->find("code") : nullptr;
+      if (!code || code->as_string() != "shed_overload") {
+        std::fprintf(stderr, "FATAL: shed without structured status: %s\n",
+                     line.c_str());
+        out.ok = false;
+      }
+    } else if (state_name == "done" || state_name == "failed") {
+      const int index = std::atoi(id->as_string().c_str() + 3);
+      if (index >= 0 && index < jobs) {
+        completed_latency_ms.push_back(
+            std::chrono::duration<double, std::milli>(
+                when - submit_at[static_cast<std::size_t>(index)])
+                .count());
+      }
+    } else {
+      std::fprintf(stderr, "FATAL: unexpected job state '%s': %s\n",
+                   state_name.c_str(), line.c_str());
+      out.ok = false;
+    }
+  }
+  for (int i = 0; i < jobs; ++i) {
+    const auto it = seen.find("job" + std::to_string(i));
+    const int count = it == seen.end() ? 0 : it->second;
+    if (count != 1) {
+      std::fprintf(stderr, "FATAL: job%d answered %d times (want 1)\n", i,
+                   count);
+      out.ok = false;
+    }
+  }
+
+  out.p50_ms = percentile(completed_latency_ms, 0.50);
+  out.p99_ms = percentile(completed_latency_ms, 0.99);
+  const prop::service::ServerStats stats = server.stats();
+  out.done = stats.done;
+  out.failed = stats.failed;
+  out.shed = stats.shed;
+  out.retries = stats.retries;
+  out.responses = stats.responses;
+  if (stats.responses != static_cast<std::uint64_t>(jobs)) {
+    std::fprintf(stderr, "FATAL: %llu responses for %d jobs\n",
+                 static_cast<unsigned long long>(stats.responses), jobs);
+    out.ok = false;
+  }
+  return out;
+}
+
+/// The load-independence gate: a no-shed fleet must return byte-identical
+/// responses at every worker count (chaos still armed — retries included).
+bool check_determinism(const std::vector<int>& workers_list, int jobs,
+                       const std::string& inject, std::uint64_t seed) {
+  std::map<std::string, std::string> reference;
+  for (const int workers : workers_list) {
+    prop::service::ServerConfig config;
+    config.workers = workers;
+    config.queue_limit = jobs;  // nothing sheds
+    config.inject = inject;
+    config.inject_seed = seed;
+    config.retry_backoff_ms = 0.0;
+
+    std::vector<std::string> lines;
+    prop::service::Server server(
+        config, [&](const std::string& line) { lines.push_back(line); });
+    for (int i = 0; i < jobs; ++i) {
+      if (!server.handle_line(job_line(i, seed, /*deterministic=*/true))) {
+        std::fprintf(stderr, "FATAL: server stopped mid-fleet\n");
+        return false;
+      }
+    }
+    server.drain();
+
+    std::map<std::string, std::string> by_id;
+    for (const std::string& line : lines) {
+      const auto v = prop::service::json_parse(line);
+      if (!v || !v->find("id")) return false;
+      by_id[v->find("id")->as_string()] = line;
+    }
+    if (reference.empty()) {
+      reference = std::move(by_id);
+    } else if (by_id != reference) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: workers=%d diverges from "
+                   "workers=%d\n",
+                   workers, workers_list.front());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const prop::CliArgs args(argc, argv);
+  if (!prop::bench::check_flags(
+          args,
+          {"jobs", "workers-list", "queue-limit", "inject", "seed", "out",
+           "fast"},
+          "[--jobs N] [--workers-list 1,2,4] [--queue-limit N] "
+          "[--inject SPEC] [--seed N] [--out FILE] [--fast]")) {
+    return 2;
+  }
+  const bool fast = args.get_bool_or("fast", false);
+  const int jobs = static_cast<int>(args.get_int_or("jobs", fast ? 60 : 200));
+  const int queue_limit =
+      static_cast<int>(args.get_int_or("queue-limit", 24));
+  const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
+  const std::vector<int> workers_list =
+      parse_workers_list(args.get_or("workers-list", "1,2,4"));
+  const std::string inject = args.get_or(
+      "inject", "validate-fail~0.02,serve-exec~0.01,cancel-mid-pass~0.01");
+  const std::string out_path =
+      args.get_or("out", "BENCH_service_throughput.json");
+  if (workers_list.empty() || jobs < 1 || queue_limit < 1) {
+    std::fprintf(stderr, "error: bad --workers-list/--jobs/--queue-limit\n");
+    return 2;
+  }
+
+  std::printf(
+      "service chaos soak: %d jobs per sweep, queue limit %d, inject "
+      "\"%s\"\n\n",
+      jobs, queue_limit, inject.c_str());
+  std::printf("%7s %6s %10s %10s %9s %9s %6s %6s %6s %8s\n", "workers",
+              "jobs", "wall (s)", "jobs/sec", "p50 (ms)", "p99 (ms)", "done",
+              "fail", "shed", "retries");
+  prop::bench::print_rule(88);
+
+  std::vector<SoakResult> results;
+  bool all_ok = true;
+  for (const int workers : workers_list) {
+    const SoakResult r = run_soak(workers, jobs, queue_limit, inject, seed);
+    all_ok = all_ok && r.ok;
+    std::printf("%7d %6d %10.3f %10.1f %9.2f %9.2f %6llu %6llu %6llu %8llu\n",
+                r.workers, r.jobs, r.wall_seconds,
+                r.wall_seconds > 0.0 ? r.jobs / r.wall_seconds : 0.0, r.p50_ms,
+                r.p99_ms, static_cast<unsigned long long>(r.done),
+                static_cast<unsigned long long>(r.failed),
+                static_cast<unsigned long long>(r.shed),
+                static_cast<unsigned long long>(r.retries));
+    results.push_back(r);
+  }
+
+  // The soak must actually have engaged the shedder: a soak that never
+  // overloads proves nothing about admission control.
+  const bool any_shed =
+      std::any_of(results.begin(), results.end(),
+                  [](const SoakResult& r) { return r.shed > 0; });
+  if (!any_shed) {
+    std::fprintf(stderr,
+                 "error: no sweep shed any job — raise --jobs or lower "
+                 "--queue-limit\n");
+    all_ok = false;
+  }
+
+  std::printf("\nchecking byte-determinism across worker counts...\n");
+  const bool deterministic =
+      check_determinism(workers_list, fast ? 12 : 24, inject, seed);
+
+  std::ofstream f(out_path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  f << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SoakResult& r = results[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "  {\"workers\": %d, \"jobs\": %d, \"wall_seconds\": %.6f, "
+        "\"jobs_per_sec\": %.3f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"done\": %llu, \"failed\": %llu, \"shed\": %llu, "
+        "\"retries\": %llu, \"responses\": %llu}%s\n",
+        r.workers, r.jobs, r.wall_seconds,
+        r.wall_seconds > 0.0 ? r.jobs / r.wall_seconds : 0.0, r.p50_ms,
+        r.p99_ms, static_cast<unsigned long long>(r.done),
+        static_cast<unsigned long long>(r.failed),
+        static_cast<unsigned long long>(r.shed),
+        static_cast<unsigned long long>(r.retries),
+        static_cast<unsigned long long>(r.responses),
+        i + 1 < results.size() ? "," : "");
+    f << buf;
+  }
+  f << "]\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!all_ok || !deterministic) {
+    std::fprintf(stderr, "error: chaos soak failed its invariants\n");
+    return 1;
+  }
+  std::printf(
+      "soak passed: zero lost, zero duplicated, all sheds structured, "
+      "responses byte-identical across worker counts\n");
+  return 0;
+}

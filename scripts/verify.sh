@@ -63,6 +63,19 @@ echo "== multilevel smoke (asan+ubsan) =="
 ./build-asan/tools/prop_cli --circuit s15850 --multilevel \
   --ml-refiner=fm --runs 1 > /dev/null
 
+# Service chaos soak under ASan+UBSan: a short fault-injected soak that
+# drives the admission queue past its limit.  The binary itself is the gate —
+# it exits nonzero on any lost or duplicated response, any shed without a
+# structured status, or any cross-worker-count byte divergence.
+echo "== service chaos soak (asan+ubsan) =="
+./build-asan/bench/service_throughput --fast --queue-limit 8 \
+  --out build-asan/BENCH_service_throughput.json > /dev/null
+printf '%s\n%s\n' \
+  '{"op":"submit","id":"v1","circuit":"balu","runs":2,"max_retries":3}' \
+  '{"op":"shutdown"}' | \
+  ./build-asan/tools/prop_serve --workers 2 --inject validate-fail~0.5 \
+  > /dev/null
+
 # ThreadSanitizer over everything that touches the thread pool or the
 # cross-thread stop latch: the parallel runner suites, the pool itself, and
 # the runtime suites whose objects the workers share.  The whole test suite
@@ -72,7 +85,11 @@ echo "== tsan build + concurrency suites =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs"
 ctest --preset tsan -j "$jobs" \
-  -R 'ParallelRunner|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector|EngineEquivalence|ProbGainProperty'
+  -R 'ParallelRunner|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector|EngineEquivalence|ProbGainProperty|JobStore|Admission|Server'
+
+echo "== tsan service smoke =="
+./build-tsan/bench/service_throughput --fast --jobs 40 --queue-limit 6 \
+  --workers-list 2,4 --out build-tsan/BENCH_service_throughput.json > /dev/null
 
 echo "== tsan parallel smoke =="
 ./build-tsan/tools/prop_cli --circuit t4 --algo fm --runs 8 --threads 4 \

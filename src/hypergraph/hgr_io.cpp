@@ -10,22 +10,43 @@
 namespace prop {
 namespace {
 
-/// Reads the next non-comment, non-blank line; returns false at EOF.
-bool next_content_line(std::istream& in, std::string& line) {
-  while (std::getline(in, line)) {
-    std::size_t i = 0;
-    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
-    if (i == line.size() || line[i] == '%') continue;
-    return true;
+/// Line reader with a running byte budget: every consumed line (comments
+/// and blanks included — an attacker controls those too) counts toward
+/// HgrLimits::max_bytes before any of its content is acted on.
+class LineReader {
+ public:
+  LineReader(std::istream& in, std::uint64_t max_bytes)
+      : in_(in), max_bytes_(max_bytes) {}
+
+  /// Reads the next non-comment, non-blank line; returns false at EOF.
+  bool next(std::string& line) {
+    while (std::getline(in_, line)) {
+      bytes_ += line.size() + 1;  // + the consumed newline
+      if (max_bytes_ != 0 && bytes_ > max_bytes_) {
+        throw std::runtime_error("hgr: payload exceeds max bytes (" +
+                                 std::to_string(max_bytes_) + ")");
+      }
+      std::size_t i = 0;
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      if (i == line.size() || line[i] == '%') continue;
+      return true;
+    }
+    return false;
   }
-  return false;
-}
+
+ private:
+  std::istream& in_;
+  std::uint64_t max_bytes_;
+  std::uint64_t bytes_ = 0;
+};
 
 }  // namespace
 
-Hypergraph read_hgr(std::istream& in, std::string name) {
+Hypergraph read_hgr(std::istream& in, std::string name,
+                    const HgrLimits& limits) {
+  LineReader reader(in, limits.max_bytes);
   std::string line;
-  if (!next_content_line(in, line)) {
+  if (!reader.next(line)) {
     throw std::runtime_error("hgr: empty input");
   }
   std::istringstream header(line);
@@ -49,12 +70,32 @@ Hypergraph read_hgr(std::istream& in, std::string name) {
   if (fmt != 0 && !weighted_nets && !weighted_nodes) {
     throw std::runtime_error("hgr: unknown fmt code");
   }
+  // All header-driven caps fire before HypergraphBuilder allocates anything:
+  // a hostile "999999999999 999999999999" header must be rejected by
+  // arithmetic alone.  The id-width cap holds unconditionally (NodeId/NetId
+  // are 32-bit); the configurable limits only when nonzero.
+  if (limits.max_nodes != 0 &&
+      static_cast<std::uint64_t>(num_nodes) > limits.max_nodes) {
+    throw std::runtime_error("hgr: node count " + std::to_string(num_nodes) +
+                             " exceeds limit " +
+                             std::to_string(limits.max_nodes));
+  }
+  if (limits.max_nets != 0 &&
+      static_cast<std::uint64_t>(num_nets) > limits.max_nets) {
+    throw std::runtime_error("hgr: net count " + std::to_string(num_nets) +
+                             " exceeds limit " + std::to_string(limits.max_nets));
+  }
+  constexpr long long kMaxIdWidth = 0x7fffffffLL;
+  if (num_nodes > kMaxIdWidth || num_nets > kMaxIdWidth) {
+    throw std::runtime_error("hgr: header counts exceed 31-bit id range");
+  }
 
   HypergraphBuilder b(static_cast<NodeId>(num_nodes));
   b.set_name(std::move(name));
   std::vector<NodeId> pins;
+  std::uint64_t total_pins = 0;
   for (long long n = 0; n < num_nets; ++n) {
-    if (!next_content_line(in, line)) {
+    if (!reader.next(line)) {
       throw std::runtime_error("hgr: truncated net list");
     }
     std::istringstream net_line(line);
@@ -71,6 +112,10 @@ Hypergraph read_hgr(std::istream& in, std::string name) {
       if (pin < 1 || pin > num_nodes) {
         throw std::runtime_error("hgr: pin id out of range");
       }
+      if (limits.max_pins != 0 && ++total_pins > limits.max_pins) {
+        throw std::runtime_error("hgr: pin count exceeds limit " +
+                                 std::to_string(limits.max_pins));
+      }
       pins.push_back(static_cast<NodeId>(pin - 1));
     }
     if (!net_line.eof()) {
@@ -83,7 +128,7 @@ Hypergraph read_hgr(std::istream& in, std::string name) {
   }
   if (weighted_nodes) {
     for (long long u = 0; u < num_nodes; ++u) {
-      if (!next_content_line(in, line)) {
+      if (!reader.next(line)) {
         throw std::runtime_error("hgr: truncated node weights");
       }
       // Stream-parse like the net lines so malformed or overflowing values

@@ -10,6 +10,7 @@
 // experiments use the synthetic generator (see generator.h).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -17,8 +18,25 @@
 
 namespace prop {
 
-/// Parses a .hgr stream.  Throws std::runtime_error on malformed input.
-Hypergraph read_hgr(std::istream& in, std::string name = "");
+/// Resource caps for parsing untrusted .hgr payloads (the service ingest
+/// path).  Every limit is enforced *before* the corresponding allocation:
+/// the node/net counts are checked against the header before the builder
+/// reserves anything, the pin count is checked as pins stream in, and the
+/// byte count is checked per input line.  0 means unlimited (the historical
+/// trusted-file behavior).  Violations surface as the uniform
+/// "hgr: ..." std::runtime_error diagnostics; the service layer converts
+/// those to a structured Status instead of letting them escape.
+struct HgrLimits {
+  std::uint64_t max_nodes = 0;  ///< header node count cap
+  std::uint64_t max_nets = 0;   ///< header net count cap
+  std::uint64_t max_pins = 0;   ///< total pins across all net lines
+  std::uint64_t max_bytes = 0;  ///< input bytes consumed (comments included)
+};
+
+/// Parses a .hgr stream.  Throws std::runtime_error on malformed input or
+/// on a `limits` violation.
+Hypergraph read_hgr(std::istream& in, std::string name = "",
+                    const HgrLimits& limits = {});
 
 /// Reads a .hgr file from disk; the hypergraph name defaults to the path.
 Hypergraph read_hgr_file(const std::string& path);

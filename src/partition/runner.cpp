@@ -132,6 +132,27 @@ void finish_timing(MultiRunResult& out, double wall_seconds) {
       (first_failure.empty() ? "" : " (first failure: " + first_failure + ")"));
 }
 
+/// No validated result across the whole multi-start: throw (legacy harness
+/// contract) or, for allow_all_failed callers, surface the first per-run
+/// failure as the overall status so the caller gets failure-as-data.
+void finish_all_failed(const Bipartitioner& partitioner, const Hypergraph& g,
+                       MultiRunResult& out, bool allow_all_failed) {
+  if (out.best.valid()) return;
+  if (!allow_all_failed) throw_all_failed(partitioner, g, out);
+  if (out.status.ok()) {
+    for (const RunRecord& rec : out.records) {
+      if (!rec.status.ok()) {
+        out.status = rec.status;
+        break;
+      }
+    }
+    if (out.status.ok()) {
+      out.status = Status::failure(StatusCode::kError,
+                                   "all runs failed without a status");
+    }
+  }
+}
+
 MultiRunResult run_many_sequential(Bipartitioner& partitioner,
                                    const Hypergraph& g,
                                    const BalanceConstraint& balance, int runs,
@@ -188,7 +209,7 @@ MultiRunResult run_many_sequential(Bipartitioner& partitioner,
                                  "stopped during the final attempted run");
   }
   finish_timing(out, wall.seconds());
-  if (!out.best.valid()) throw_all_failed(partitioner, g, out);
+  finish_all_failed(partitioner, g, out, options.allow_all_failed);
   return out;
 }
 
@@ -318,7 +339,7 @@ MultiRunResult run_many_parallel(Bipartitioner& partitioner,
                                  "stopped during the final attempted run");
   }
   finish_timing(out, wall_seconds);
-  if (!out.best.valid()) throw_all_failed(partitioner, g, out);
+  finish_all_failed(partitioner, g, out, options.allow_all_failed);
   return out;
 }
 

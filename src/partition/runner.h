@@ -142,6 +142,14 @@ struct RunnerOptions {
   /// Requires Bipartitioner::clone(); throws std::invalid_argument when the
   /// partitioner does not support it.
   int threads = 0;
+
+  /// By default run_many throws when *every* attempted run failed to produce
+  /// a validated partition (a table experiment cannot continue without one).
+  /// The service layer sets this to true to get the failure back as data
+  /// instead: MultiRunResult::best stays invalid and the overall status
+  /// carries the first per-run failure, so a served job turns into a failed
+  /// response rather than an exception unwinding a worker.
+  bool allow_all_failed = false;
 };
 
 /// One run of `partitioner`, never throwing on a bad run: exceptions,

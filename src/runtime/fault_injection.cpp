@@ -13,6 +13,7 @@ std::optional<FaultSite> site_from_name(std::string_view name) noexcept {
   if (name == "validate-fail") return FaultSite::kValidateFail;
   if (name == "prop-drift") return FaultSite::kPropDrift;
   if (name == "cg-stall") return FaultSite::kCgStall;
+  if (name == "serve-exec") return FaultSite::kServeExec;
   return std::nullopt;
 }
 
@@ -29,6 +30,7 @@ const char* to_string(FaultSite site) noexcept {
     case FaultSite::kValidateFail: return "validate-fail";
     case FaultSite::kPropDrift: return "prop-drift";
     case FaultSite::kCgStall: return "cg-stall";
+    case FaultSite::kServeExec: return "serve-exec";
   }
   return "unknown";
 }

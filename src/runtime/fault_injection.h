@@ -12,7 +12,7 @@
 //
 //   entry := site ['@' N] ['~' P]
 //   site  := lanczos-stall | cancel-mid-pass | validate-fail
-//          | prop-drift | cg-stall
+//          | prop-drift | cg-stall | serve-exec
 //
 // Without '@', every query of the site is eligible; with '@N' only the
 // N-th query (1-based) is.  Eligible queries fire with probability P
@@ -41,9 +41,10 @@ enum class FaultSite {
   kValidateFail,   ///< queried once per run_checked validation
   kPropDrift,      ///< queried at every PROP move (drift blowup signal)
   kCgStall,        ///< queried once per conjugate_gradient call
+  kServeExec,      ///< queried once per service job attempt (worker throws)
 };
 
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 6;
 
 /// Stable identifier used in specs, telemetry and error messages.
 const char* to_string(FaultSite site) noexcept;

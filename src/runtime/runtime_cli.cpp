@@ -1,5 +1,6 @@
 #include "runtime/runtime_cli.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace prop {
@@ -8,6 +9,29 @@ const std::vector<std::string>& runtime_flag_names() {
   static const std::vector<std::string> names = {
       "time-budget-ms", "on-timeout", "inject", "inject-seed"};
   return names;
+}
+
+bool check_flags(const CliArgs& args, std::vector<std::string> known,
+                 const std::string& usage) {
+  for (const auto& name : runtime_flag_names()) known.push_back(name);
+  return validate_flags(args, known, usage);
+}
+
+std::optional<int> parse_thread_count(const CliArgs& args) {
+  if (!args.has("threads")) return 0;
+  const auto threads = args.get_int("threads");
+  if (!threads || *threads < 0) {
+    std::fprintf(stderr, "error: --threads must be an integer >= 0\n");
+    return std::nullopt;
+  }
+  return static_cast<int>(*threads);
+}
+
+int usage_error(const std::string& program, const std::string& usage,
+                const std::string& extra) {
+  std::fprintf(stderr, "usage: %s %s\n", program.c_str(), usage.c_str());
+  if (!extra.empty()) std::fprintf(stderr, "%s\n", extra.c_str());
+  return 2;
 }
 
 std::string describe_degradations(const DegradationLog& log) {

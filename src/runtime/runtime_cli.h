@@ -15,6 +15,7 @@
 // layer stays fully inert.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,25 @@ namespace prop {
 
 /// The flag names above, for inclusion in validate_flags() known-lists.
 const std::vector<std::string>& runtime_flag_names();
+
+/// The shared unknown-flag gate: appends the uniform runtime flag names to
+/// `known` and rejects anything else via validate_flags.  Every binary
+/// (prop_cli, prop_serve, the bench drivers) routes through this so a typo'd
+/// flag fails identically everywhere instead of silently becoming a no-op.
+bool check_flags(const CliArgs& args, std::vector<std::string> known,
+                 const std::string& usage);
+
+/// Parses --threads uniformly: absent or 0 means "harness default"
+/// (sequential run_many / auto), >= 1 selects that worker count.  A negative
+/// or non-numeric value prints a diagnostic to stderr and returns nullopt so
+/// the caller can exit with its usage line.
+std::optional<int> parse_thread_count(const CliArgs& args);
+
+/// Uniform usage-line emission: "usage: <program> <usage>" plus an optional
+/// extra block (e.g. an algorithm list).  Returns 2, the conventional
+/// bad-invocation exit code, so callers can `return usage_error(...)`.
+int usage_error(const std::string& program, const std::string& usage,
+                const std::string& extra = "");
 
 /// One line per degradation event ("degraded: eig1.lanczos -> ..."), for
 /// harness stderr reporting.  Empty string when nothing degraded.

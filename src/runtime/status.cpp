@@ -12,8 +12,23 @@ const char* to_string(StatusCode code) noexcept {
     case StatusCode::kInvalidResult: return "invalid_result";
     case StatusCode::kSkipped: return "skipped";
     case StatusCode::kError: return "error";
+    case StatusCode::kShedOverload: return "shed_overload";
+    case StatusCode::kInvalidRequest: return "invalid_request";
   }
   return "unknown";
+}
+
+std::optional<StatusCode> status_code_from_name(std::string_view name) noexcept {
+  // The enum is small and this only runs on wire-format parses, so a linear
+  // scan over the canonical names keeps the two directions trivially in sync.
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kBudgetExhausted, StatusCode::kCancelled,
+        StatusCode::kInjectedFault, StatusCode::kEigensolverStalled,
+        StatusCode::kInvalidResult, StatusCode::kSkipped, StatusCode::kError,
+        StatusCode::kShedOverload, StatusCode::kInvalidRequest}) {
+    if (name == to_string(code)) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::describe() const {

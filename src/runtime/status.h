@@ -7,7 +7,9 @@
 // not as an exception that aborts a whole multi-start experiment.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace prop {
 
@@ -20,10 +22,16 @@ enum class StatusCode {
   kInvalidResult,      ///< partitioner output failed validation
   kSkipped,            ///< run never started (budget spent by earlier runs)
   kError,              ///< partitioner raised an exception
+  kShedOverload,       ///< service admission queue at depth limit; job shed
+  kInvalidRequest,     ///< malformed/oversized job payload or protocol line
 };
 
 /// Stable snake_case identifier used in --stats-json and log lines.
 const char* to_string(StatusCode code) noexcept;
+
+/// Inverse of to_string, for wire-format parsing (service protocol).
+/// Returns nullopt for an unknown identifier.
+std::optional<StatusCode> status_code_from_name(std::string_view name) noexcept;
 
 struct Status {
   StatusCode code = StatusCode::kOk;

@@ -1,0 +1,103 @@
+#include "service/admission.h"
+
+#include <iterator>
+#include <stdexcept>
+
+namespace prop::service {
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config) : config_(config) {
+  if (config_.max_depth == 0) config_.max_depth = 1;
+  if (config_.aging_interval == 0) config_.aging_interval = 1;
+}
+
+Status AdmissionQueue::push(JobSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= config_.max_depth) {
+    ++sheds_;
+    return Status::failure(
+        StatusCode::kShedOverload,
+        "admission queue depth " + std::to_string(entries_.size()) +
+            " at limit " + std::to_string(config_.max_depth));
+  }
+  Entry entry;
+  entry.spec = std::move(spec);
+  entry.seq = next_seq_++;
+  entries_.push_back(std::move(entry));
+  if (entries_.size() > max_depth_seen_) max_depth_seen_ = entries_.size();
+  return Status::success();
+}
+
+double AdmissionQueue::effective(const Entry& e, std::uint64_t now) const {
+  const std::uint64_t age = now - e.seq;
+  return static_cast<double>(e.spec.priority) +
+         static_cast<double>(age / config_.aging_interval);
+}
+
+JobSpec AdmissionQueue::pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.empty()) {
+    throw std::logic_error(
+        "AdmissionQueue::pop on empty queue (task-per-job invariant broken)");
+  }
+  const std::uint64_t now = next_seq_;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Entry& candidate = entries_[i];
+    const Entry& incumbent = entries_[best];
+    const double cand_eff = effective(candidate, now);
+    const double inc_eff = effective(incumbent, now);
+    if (cand_eff > inc_eff) {
+      best = i;
+      continue;
+    }
+    if (cand_eff < inc_eff) continue;
+    // Equal effective priority: prefer the tenant served longest ago (a
+    // never-served tenant counts as oldest), then FIFO.  find() misses map
+    // to 0, which is exactly "never served".
+    const auto cand_served = last_served_.find(candidate.spec.tenant);
+    const auto inc_served = last_served_.find(incumbent.spec.tenant);
+    const std::uint64_t cand_last =
+        cand_served == last_served_.end() ? 0 : cand_served->second;
+    const std::uint64_t inc_last =
+        inc_served == last_served_.end() ? 0 : inc_served->second;
+    if (cand_last < inc_last) {
+      best = i;
+      continue;
+    }
+    if (cand_last == inc_last && candidate.seq < incumbent.seq) best = i;
+  }
+  JobSpec out = std::move(entries_[best].spec);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(best));
+  last_served_[out.tenant] = next_seq_++;
+  // Tenant names are client-controlled; bound the fairness history so a
+  // stream of one-shot tenants cannot grow the map without limit.  Evicting
+  // the least-recently-served tenant demotes it back to "never served",
+  // which is the same (oldest) tie-break position it was heading for anyway.
+  constexpr std::size_t kMaxTenantHistory = 1024;
+  if (last_served_.size() > kMaxTenantHistory) {
+    auto oldest = last_served_.begin();
+    for (auto it = std::next(last_served_.begin()); it != last_served_.end();
+         ++it) {
+      if (it->second < oldest->second) oldest = it;
+    }
+    last_served_.erase(oldest);
+  }
+  return out;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t AdmissionQueue::max_depth_seen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_depth_seen_;
+}
+
+std::uint64_t AdmissionQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sheds_;
+}
+
+}  // namespace prop::service

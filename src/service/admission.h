@@ -1,0 +1,75 @@
+// Bounded admission control for the partitioning service.
+//
+// The queue is the server's only elastic buffer, so it is the place where
+// overload becomes a *decision* instead of an OOM: push() rejects with a
+// structured kShedOverload Status the moment the depth limit is reached —
+// memory use is bounded by max_depth jobs no matter how fast clients submit.
+//
+// Scheduling is priority-with-aging plus per-tenant fairness:
+//   effective(job) = priority + (admissions_since(job) / aging_interval)
+// pop() takes the highest effective priority; ties break to the tenant
+// served least recently, then to FIFO order.  Aging guarantees a starving
+// low-priority job eventually outranks a stream of fresh high-priority ones;
+// the tenant tie-break stops one heavy client from monopolizing equal-
+// priority service.  All ordering is driven by a logical admission counter,
+// never the wall clock, so schedules are deterministic and testable.
+//
+// Thread safety: every method locks; pop() never blocks because the server
+// maintains the invariant "one executor task submitted per admitted job", so
+// an executor always finds work.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/status.h"
+#include "service/wire.h"
+
+namespace prop::service {
+
+struct AdmissionConfig {
+  std::size_t max_depth = 64;        ///< jobs queued before shedding
+  std::uint64_t aging_interval = 4;  ///< admissions per +1 priority boost
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionConfig config);
+
+  /// Admits `spec` or sheds it: returns kOk and queues the job, or a
+  /// kShedOverload Status naming the depth and limit.  Never allocates
+  /// beyond the configured depth.
+  Status push(JobSpec spec);
+
+  /// Removes and returns the scheduled-next job.  Precondition: non-empty
+  /// (the server's task-per-job invariant); throws std::logic_error
+  /// otherwise — that is a server bug, not a client condition.
+  JobSpec pop();
+
+  std::size_t depth() const;
+  std::size_t max_depth_seen() const;
+  std::uint64_t shed_count() const;
+
+ private:
+  struct Entry {
+    JobSpec spec;
+    std::uint64_t seq = 0;  ///< admission order (logical time)
+  };
+
+  /// Effective priority under aging at logical time `now`.
+  double effective(const Entry& e, std::uint64_t now) const;
+
+  AdmissionConfig config_;
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  /// seq of the last pop that served each tenant (0 = never served).
+  std::unordered_map<std::string, std::uint64_t> last_served_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t max_depth_seen_ = 0;
+  std::uint64_t sheds_ = 0;
+};
+
+}  // namespace prop::service

@@ -1,0 +1,27 @@
+// Name -> Bipartitioner factory shared by prop_cli, prop_serve and the
+// service benches, so "which strings name which algorithms" lives in exactly
+// one place.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/prop_partitioner.h"
+#include "partition/partitioner.h"
+
+namespace prop::service {
+
+/// Parses a --gain-engine value; nullopt for unknown names.
+std::optional<GainEngine> parse_gain_engine(const std::string& name);
+
+/// Builds the partitioner registered under `name` (fm, fm-tree, la2, la3,
+/// kl, prop, eig1, melo, paraboli, window); nullptr for unknown names.
+/// `gain_engine` applies to the PROP family only.
+std::unique_ptr<Bipartitioner> make_algo(
+    const std::string& name, GainEngine gain_engine = GainEngine::kCached);
+
+/// Space-separated list of the registered names, for usage/error messages.
+const std::string& algo_names();
+
+}  // namespace prop::service

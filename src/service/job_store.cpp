@@ -1,0 +1,94 @@
+#include "service/job_store.h"
+
+namespace prop::service {
+namespace {
+
+/// FNV-1a over the job id; same keying scheme for every shard lookup so a
+/// given id always maps to the same mutex.
+std::size_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace
+
+const char* to_string(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kShed:
+      return "shed";
+    case JobState::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+JobStore::Shard& JobStore::shard_for(const std::string& id) noexcept {
+  return shards_[fnv1a(id) % kShards];
+}
+
+const JobStore::Shard& JobStore::shard_for(const std::string& id) const noexcept {
+  return shards_[fnv1a(id) % kShards];
+}
+
+bool JobStore::try_insert(const std::string& id) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.jobs.emplace(id, JobRecord{}).second;
+}
+
+bool JobStore::update(const std::string& id,
+                      const std::function<void(JobRecord&)>& fn) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.jobs.find(id);
+  if (it == shard.jobs.end()) return false;
+  fn(it->second);
+  return true;
+}
+
+int JobStore::mark_responded(const std::string& id) {
+  Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.jobs.find(id);
+  if (it == shard.jobs.end()) return 0;
+  return ++it->second.responses;
+}
+
+std::optional<JobRecord> JobStore::find(const std::string& id) const {
+  const Shard& shard = shard_for(id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.jobs.find(id);
+  if (it == shard.jobs.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t JobStore::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.jobs.size();
+  }
+  return total;
+}
+
+void JobStore::for_each(const std::function<void(const std::string&,
+                                                 const JobRecord&)>& fn) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [id, record] : shard.jobs) fn(id, record);
+  }
+}
+
+}  // namespace prop::service

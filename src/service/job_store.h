@@ -1,0 +1,86 @@
+// Sharded job/result store of the partitioning service.
+//
+// Follows the sharded-container idiom (SNIPPETS.md §2): the id space is
+// split across independently locked shards so bookkeeping from concurrent
+// worker threads contends only per shard, never globally.  The store is the
+// service's single source of truth for the response invariant — every
+// admitted id gets *exactly one* response: try_insert() rejects duplicate
+// ids at the door, and mark_responded() is the atomic emit-once gate the
+// responder must win before writing to the wire.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/status.h"
+
+namespace prop::service {
+
+enum class JobState {
+  kQueued,   ///< admitted, waiting in the admission queue
+  kRunning,  ///< picked up by a worker
+  kDone,     ///< responded with a result
+  kFailed,   ///< responded without a result (error / retries exhausted)
+  kShed,     ///< rejected by admission control
+  kInvalid,  ///< rejected before admission (malformed spec / payload)
+};
+
+const char* to_string(JobState state) noexcept;
+
+struct JobRecord {
+  JobState state = JobState::kQueued;
+  int attempts = 0;          ///< execution attempts (retries included)
+  Status final_status;       ///< set when a response was produced
+  double queue_ms = 0.0;     ///< admission -> first execution
+  double exec_ms = 0.0;      ///< execution wall time (all attempts)
+  int responses = 0;         ///< responses emitted (must end at exactly 1)
+};
+
+class JobStore {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  JobStore() = default;
+  JobStore(const JobStore&) = delete;
+  JobStore& operator=(const JobStore&) = delete;
+
+  /// Registers a fresh id; false when the id already exists (the caller
+  /// must reject the job — a duplicate id would break exactly-once).
+  bool try_insert(const std::string& id);
+
+  /// Runs `fn` on the record under its shard lock; false for unknown ids.
+  bool update(const std::string& id,
+              const std::function<void(JobRecord&)>& fn);
+
+  /// Claims the right to emit the response for `id`: increments the
+  /// response count and returns its new value.  The caller may write to the
+  /// wire only when this returns 1; 0 means the id is unknown.
+  int mark_responded(const std::string& id);
+
+  std::optional<JobRecord> find(const std::string& id) const;
+
+  std::size_t size() const;
+
+  /// Snapshot iteration (stats reporting): `fn` runs under each shard's
+  /// lock in shard order.
+  void for_each(const std::function<void(const std::string&,
+                                         const JobRecord&)>& fn) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, JobRecord> jobs;
+  };
+
+  Shard& shard_for(const std::string& id) noexcept;
+  const Shard& shard_for(const std::string& id) const noexcept;
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace prop::service

@@ -1,0 +1,163 @@
+// The partitioning job server: accepts line-delimited JSON requests, runs
+// them on a fixed worker pool, and streams one response line per job.
+//
+// Fault-tolerance contract (DESIGN.md §4h):
+//   * exactly-once responses — every admitted id produces exactly one
+//     response line, enforced by JobStore::mark_responded; duplicate ids are
+//     rejected at the door,
+//   * bounded memory — the admission queue sheds with a structured
+//     kShedOverload Status at its depth limit; oversized request lines and
+//     oversized .hgr payloads are rejected before any allocation is sized
+//     from untrusted counts (HgrLimits),
+//   * panic isolation — an exception anywhere in a job (ingest, partitioner,
+//     injected serve-exec fault) becomes a failed response for that job; the
+//     worker and the server keep serving,
+//   * deadlines — each job's wall-clock budget starts when execution starts
+//     (not at admission), so a queued job is not charged for load it did not
+//     cause,
+//   * retry with backoff — a transient failure (an injected fault that left
+//     no result) is retried up to max_retries times with doubling capped
+//     backoff; every other failure is terminal,
+//   * determinism — a job's result JSON (stats_timing=false) depends only on
+//     (spec, seed): jobs execute their runs sequentially in-worker, and the
+//     chaos injector is forked per (job seed, attempt), never shared across
+//     jobs, so worker count and load cannot change any job's bytes.
+//
+// Threading: handle_line() is called from one protocol thread; workers run
+// jobs concurrently; the ResponseSink is invoked under a mutex (whole lines,
+// never interleaved) from whichever thread finishes a job.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hypergraph/hgr_io.h"
+#include "runtime/fault_injection.h"
+#include "service/admission.h"
+#include "service/job_store.h"
+#include "service/wire.h"
+#include "util/thread_pool.h"
+
+namespace prop::service {
+
+struct ServerConfig {
+  int workers = 2;                   ///< job execution threads
+  std::size_t queue_limit = 64;      ///< admission depth before shedding
+  std::uint64_t aging_interval = 4;  ///< admissions per +1 priority boost
+  int max_retries = 2;               ///< default when a spec says -1
+  double retry_backoff_ms = 1.0;     ///< first retry delay (doubles per retry)
+  double retry_backoff_max_ms = 50.0;
+  std::string inject;                ///< chaos spec (fault_injection.h); "" = off
+  std::uint64_t inject_seed = 0x5eedfa017ULL;
+  std::size_t max_request_bytes = 4u << 20;  ///< one protocol line
+  /// Ingest caps applied to inline .hgr payloads before allocation.
+  HgrLimits hgr_limits{/*max_nodes=*/1u << 20, /*max_nets=*/1u << 21,
+                       /*max_pins=*/1u << 26, /*max_bytes=*/1u << 28};
+  double default_deadline_ms = 0.0;  ///< job budget when a spec says 0; 0 = none
+};
+
+/// Monotonic counters for the stats op and the soak harness's bookkeeping.
+struct ServerStats {
+  std::uint64_t lines = 0;      ///< protocol lines handled
+  std::uint64_t submitted = 0;  ///< submit requests seen
+  std::uint64_t accepted = 0;   ///< jobs admitted to the queue
+  std::uint64_t shed = 0;       ///< jobs rejected by admission control
+  std::uint64_t invalid = 0;    ///< malformed / oversized / duplicate requests
+  std::uint64_t done = 0;       ///< jobs that executed and produced a result
+  std::uint64_t failed = 0;     ///< jobs that executed and failed terminally
+  std::uint64_t retries = 0;    ///< transient-fault re-attempts
+  std::uint64_t responses = 0;  ///< response lines emitted
+  std::size_t max_queue_depth = 0;
+};
+
+/// Receives complete response lines (no trailing newline), one call per
+/// response, serialized by the server's sink mutex.
+using ResponseSink = std::function<void(const std::string&)>;
+
+class Server {
+ public:
+  Server(ServerConfig config, ResponseSink sink);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handles one protocol line (without its newline).  Emits any synchronous
+  /// response (shed / invalid / stats) before returning; an accepted submit
+  /// responds later from a worker.  Returns false when the line was a
+  /// shutdown request (the caller should stop reading).
+  bool handle_line(const std::string& line);
+
+  /// Blocks until every accepted job has responded.
+  void drain();
+
+  ServerStats stats() const;
+  const JobStore& store() const noexcept { return store_; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+
+ private:
+  struct JobTiming {
+    std::chrono::steady_clock::time_point admitted;
+  };
+
+  void submit(JobSpec spec);
+  void execute_one();
+  void run_job(const JobSpec& spec);
+
+  /// Emits the single response for `id` (exactly-once gate) and counts it
+  /// under the terminal state's counter (done / failed; shed and invalid are
+  /// counted at their rejection sites).
+  void respond(const std::string& id, const std::string& line, JobState state);
+  /// Emits a response line that is not tied to an admitted id (parse errors,
+  /// stats, shutdown acks).
+  void emit(const std::string& line);
+
+  std::string envelope(const JobSpec& spec, JobState state, int attempts,
+                       const Status& status, const std::string& result_json,
+                       const std::string& partition,
+                       const std::vector<DegradationEvent>& degradations,
+                       double queue_ms, double exec_ms) const;
+
+  ServerConfig config_;
+  ResponseSink sink_;
+  std::mutex sink_mutex_;
+
+  AdmissionQueue queue_;
+  JobStore store_;
+  FaultInjector chaos_;
+  bool chaos_armed_ = false;
+
+  std::atomic<std::uint64_t> lines_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> responses_{0};
+
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  std::size_t outstanding_ = 0;
+
+  /// Admission timestamps keyed by id (steady_clock points are not part of
+  /// JobRecord so the store stays a plain value type).
+  std::mutex timing_mutex_;
+  std::unordered_map<std::string, JobTiming> timings_;
+
+  /// Last member: destroyed first, so workers finish (each holding `this`)
+  /// before any other member goes away.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace prop::service

@@ -131,6 +131,71 @@ TEST(HgrIo, WriterReportsStreamFailure) {
   }
 }
 
+/// The untrusted-payload caps (service ingest).  Each limit must reject via
+/// the uniform "hgr:" runtime_error *before* the corresponding allocation.
+void expect_limit_error(const std::string& text, const HgrLimits& limits,
+                        const std::string& needle, const std::string& label) {
+  std::istringstream in(text);
+  try {
+    read_hgr(in, "", limits);
+    FAIL() << label << ": expected read_hgr to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind("hgr:", 0), 0u) << label << ": " << what;
+    EXPECT_NE(what.find(needle), std::string::npos)
+        << label << ": message '" << what << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(HgrIoLimits, EnforcesNodeAndNetCaps) {
+  HgrLimits limits;
+  limits.max_nodes = 3;
+  expect_limit_error("1 4\n1 2\n", limits, "node", "node cap");
+  limits = {};
+  limits.max_nets = 1;
+  expect_limit_error("2 4\n1 2\n3 4\n", limits, "net", "net cap");
+}
+
+TEST(HgrIoLimits, HeaderCapsRejectBeforeAllocation) {
+  // A hostile header claiming 10^18 nodes must fail on the cap check, not
+  // inside a 10^18-element reserve.  (With no limits, the 31-bit id-range
+  // cap still rejects it.)
+  HgrLimits limits;
+  limits.max_nodes = 1000;
+  expect_limit_error("1 1000000000000000000\n1 2\n", limits, "node",
+                     "huge node count vs cap");
+  expect_limit_error("1 1000000000000000000\n1 2\n", HgrLimits{}, "31-bit",
+                     "huge node count vs id range");
+  expect_limit_error("1000000000000000000 4\n1 2\n", HgrLimits{}, "31-bit",
+                     "huge net count vs id range");
+}
+
+TEST(HgrIoLimits, EnforcesPinCapMidStream) {
+  HgrLimits limits;
+  limits.max_pins = 3;
+  expect_limit_error("2 4\n1 2\n2 3 4\n", limits, "pin", "pin cap");
+  limits.max_pins = 5;  // exactly at the limit is fine
+  std::istringstream ok("2 4\n1 2\n2 3 4\n");
+  EXPECT_EQ(read_hgr(ok, "", limits).num_pins(), 5u);
+}
+
+TEST(HgrIoLimits, EnforcesByteCapIncludingComments) {
+  HgrLimits limits;
+  limits.max_bytes = 16;
+  expect_limit_error("% padding padding padding\n2 4\n1 2\n2 3 4\n", limits,
+                     "byte", "comment bytes count");
+  limits.max_bytes = 4096;
+  std::istringstream ok("2 4\n1 2\n2 3 4\n");
+  EXPECT_EQ(read_hgr(ok, "", limits).num_nodes(), 4u);
+}
+
+TEST(HgrIoLimits, ZeroMeansUnlimited) {
+  std::istringstream in("2 4\n1 2\n2 3 4\n");
+  const Hypergraph g = read_hgr(in, "x", HgrLimits{});
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_nets(), 2u);
+}
+
 TEST(HgrIo, RoundTripGeneratedCircuit) {
   const Hypergraph g = generate_circuit({"rt", 120, 150, 470}, 9);
   std::ostringstream out;

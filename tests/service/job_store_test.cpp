@@ -1,0 +1,105 @@
+#include "service/job_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace prop::service {
+namespace {
+
+TEST(JobStore, InsertRejectsDuplicates) {
+  JobStore store;
+  EXPECT_TRUE(store.try_insert("a"));
+  EXPECT_FALSE(store.try_insert("a"));
+  EXPECT_TRUE(store.try_insert("b"));
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(JobStore, UpdateAndFind) {
+  JobStore store;
+  ASSERT_TRUE(store.try_insert("a"));
+  EXPECT_TRUE(store.update("a", [](JobRecord& r) {
+    r.state = JobState::kRunning;
+    r.attempts = 2;
+    r.final_status = Status::failure(StatusCode::kInjectedFault, "x");
+  }));
+  const auto record = store.find("a");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->state, JobState::kRunning);
+  EXPECT_EQ(record->attempts, 2);
+  EXPECT_EQ(record->final_status.code, StatusCode::kInjectedFault);
+
+  EXPECT_FALSE(store.update("missing", [](JobRecord&) {}));
+  EXPECT_FALSE(store.find("missing").has_value());
+}
+
+TEST(JobStore, MarkRespondedIsAnExactlyOnceGate) {
+  JobStore store;
+  ASSERT_TRUE(store.try_insert("a"));
+  EXPECT_EQ(store.mark_responded("a"), 1);  // first responder wins
+  EXPECT_EQ(store.mark_responded("a"), 2);  // duplicate — caller suppresses
+  EXPECT_EQ(store.mark_responded("unknown"), 0);
+}
+
+TEST(JobStore, StateNamesAreStable) {
+  EXPECT_STREQ(to_string(JobState::kQueued), "queued");
+  EXPECT_STREQ(to_string(JobState::kRunning), "running");
+  EXPECT_STREQ(to_string(JobState::kDone), "done");
+  EXPECT_STREQ(to_string(JobState::kFailed), "failed");
+  EXPECT_STREQ(to_string(JobState::kShed), "shed");
+  EXPECT_STREQ(to_string(JobState::kInvalid), "invalid");
+}
+
+TEST(JobStore, ForEachVisitsEveryRecord) {
+  JobStore store;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.try_insert("job" + std::to_string(i)));
+  }
+  int visited = 0;
+  store.for_each([&](const std::string& id, const JobRecord&) {
+    EXPECT_EQ(id.rfind("job", 0), 0u);
+    ++visited;
+  });
+  EXPECT_EQ(visited, 100);
+}
+
+/// Concurrency hammer (the TSan smoke target): many threads inserting,
+/// updating and racing to respond.  The invariant under test: every id is
+/// inserted exactly once and exactly one thread wins mark_responded.
+TEST(JobStore, ConcurrentHammerKeepsExactlyOnce) {
+  JobStore store;
+  constexpr int kJobs = 400;
+  constexpr int kThreads = 8;
+
+  std::atomic<int> insert_wins{0};
+  std::atomic<int> respond_wins{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kJobs; ++i) {
+        const std::string id = "job" + std::to_string(i);
+        if (store.try_insert(id)) insert_wins.fetch_add(1);
+        store.update(id, [t](JobRecord& r) {
+          r.state = JobState::kRunning;
+          r.attempts = t + 1;
+        });
+        if (store.mark_responded(id) == 1) respond_wins.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(insert_wins.load(), kJobs);
+  EXPECT_EQ(respond_wins.load(), kJobs);
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kJobs));
+  store.for_each([](const std::string&, const JobRecord& r) {
+    EXPECT_EQ(r.responses, 8);  // every thread marked, exactly one won
+  });
+}
+
+}  // namespace
+}  // namespace prop::service

@@ -20,55 +20,19 @@
 #include <string>
 #include <vector>
 
-#include "cluster/window.h"
-#include "core/prop_partitioner.h"
-#include "fm/fm_partitioner.h"
 #include "hypergraph/generator.h"
 #include "hypergraph/hgr_io.h"
 #include "hypergraph/mcnc_suite.h"
 #include "hypergraph/stats.h"
-#include "kl/kl_partitioner.h"
-#include "la/la_partitioner.h"
 #include "multilevel/multilevel_driver.h"
 #include "partition/metrics.h"
 #include "partition/recursive.h"
 #include "partition/runner.h"
-#include "placement/paraboli.h"
 #include "runtime/runtime_cli.h"
-#include "spectral/eig1.h"
-#include "spectral/melo.h"
+#include "service/algo_factory.h"
 #include "util/cli.h"
 
 namespace {
-
-std::optional<prop::GainEngine> parse_gain_engine(const std::string& name) {
-  if (name == "cached") return prop::GainEngine::kCached;
-  if (name == "scratch") return prop::GainEngine::kScratch;
-  if (name == "shadow") return prop::GainEngine::kShadow;
-  return std::nullopt;
-}
-
-std::unique_ptr<prop::Bipartitioner> make_algo(const std::string& name,
-                                               prop::GainEngine gain_engine) {
-  if (name == "fm") return std::make_unique<prop::FmPartitioner>();
-  if (name == "fm-tree") {
-    return std::make_unique<prop::FmPartitioner>(
-        prop::FmConfig{prop::FmStructure::kTree});
-  }
-  if (name == "la2") return std::make_unique<prop::LaPartitioner>(prop::LaConfig{2});
-  if (name == "la3") return std::make_unique<prop::LaPartitioner>(prop::LaConfig{3});
-  if (name == "kl") return std::make_unique<prop::KlPartitioner>();
-  if (name == "prop") {
-    prop::PropConfig config;
-    config.gain_engine = gain_engine;
-    return std::make_unique<prop::PropPartitioner>(config);
-  }
-  if (name == "eig1") return std::make_unique<prop::Eig1Partitioner>();
-  if (name == "melo") return std::make_unique<prop::MeloPartitioner>();
-  if (name == "paraboli") return std::make_unique<prop::ParaboliPartitioner>();
-  if (name == "window") return std::make_unique<prop::WindowPartitioner>();
-  return nullptr;
-}
 
 constexpr const char* kUsage =
     "[--hgr FILE | --circuit NAME | --synth-nodes N] [--algo NAME]\n"
@@ -81,11 +45,8 @@ constexpr const char* kUsage =
     "          [--inject=SPEC] [--inject-seed N]";
 
 int usage(const char* prog) {
-  std::fprintf(stderr,
-               "usage: %s %s\n"
-               "algorithms: fm fm-tree la2 la3 kl prop eig1 melo paraboli window\n",
-               prog, kUsage);
-  return 2;
+  return prop::usage_error(prog, kUsage,
+                           "algorithms: " + prop::service::algo_names());
 }
 
 }  // namespace
@@ -93,14 +54,14 @@ int usage(const char* prog) {
 int main(int argc, char** argv) {
   const prop::CliArgs args(argc, argv);
 
-  std::vector<std::string> known = {"hgr",  "circuit", "algo", "runs",
-                                    "balance", "k",    "seed", "out",
-                                    "stats-json", "stats-timing", "list",
-                                    "threads", "gain-engine", "multilevel",
-                                    "ml-refiner", "coarsest-max-nodes",
-                                    "synth-nodes"};
-  for (const auto& name : prop::runtime_flag_names()) known.push_back(name);
-  if (!prop::validate_flags(args, known, kUsage)) return 2;
+  if (!prop::check_flags(args,
+                         {"hgr", "circuit", "algo", "runs", "balance", "k",
+                          "seed", "out", "stats-json", "stats-timing", "list",
+                          "threads", "gain-engine", "multilevel", "ml-refiner",
+                          "coarsest-max-nodes", "synth-nodes"},
+                         kUsage)) {
+    return 2;
+  }
 
   if (args.has("list")) {
     std::printf("bundled Table 1 circuits (synthetic stand-ins):\n");
@@ -138,7 +99,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string engine_name = args.get_or("gain-engine", "cached");
-  const auto gain_engine = parse_gain_engine(engine_name);
+  const auto gain_engine = prop::service::parse_gain_engine(engine_name);
   if (!gain_engine) {
     std::fprintf(stderr, "unknown gain engine '%s' (cached|scratch|shadow)\n",
                  engine_name.c_str());
@@ -173,7 +134,7 @@ int main(int argc, char** argv) {
     algo = std::make_unique<prop::MultilevelPartitioner>(config);
   } else {
     const std::string algo_name = args.get_or("algo", "prop");
-    algo = make_algo(algo_name, *gain_engine);
+    algo = prop::service::make_algo(algo_name, *gain_engine);
     if (!algo) {
       std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
       return usage(argv[0]);
@@ -183,11 +144,9 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int runs = static_cast<int>(args.get_int_or("runs", 20));
   const auto k = static_cast<prop::NodeId>(args.get_int_or("k", 2));
-  const int threads = static_cast<int>(args.get_int_or("threads", 0));
-  if (threads < 0) {
-    std::fprintf(stderr, "error: --threads must be >= 0\n");
-    return usage(argv[0]);
-  }
+  const auto parsed_threads = prop::parse_thread_count(args);
+  if (!parsed_threads) return usage(argv[0]);
+  const int threads = *parsed_threads;
 
   std::optional<prop::RuntimeSession> session;
   try {

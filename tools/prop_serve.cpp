@@ -1,0 +1,250 @@
+// prop_serve — the partitioning job server (DESIGN.md §4h).
+//
+//   prop_serve                          # serve line-JSON on stdin/stdout
+//   prop_serve --socket /tmp/prop.sock  # serve on a unix domain socket
+//
+// One JSON request per line in, one JSON response per line out:
+//
+//   {"op":"submit","id":"j1","circuit":"balu","algo":"prop","runs":3,
+//    "seed":7,"deadline_ms":500,"priority":1,"tenant":"alpha"}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// Responses are exactly-once per admitted id, overload is shed with a
+// structured kShedOverload status, and worker exceptions never kill the
+// server (see service/server.h for the full contract).  Chaos soaks arm
+// --inject (grammar in fault_injection.h), e.g.
+//
+//   prop_serve --inject='validate-fail~0.02,serve-exec~0.01' --workers 4
+//
+// Socket mode accepts one client at a time; the server drains between
+// connections so a response never lands on a later client's stream.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "runtime/runtime_cli.h"
+#include "service/server.h"
+
+#ifndef _WIN32
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+constexpr const char* kUsage =
+    "[--workers N] [--queue-limit N] [--aging-interval N]\n"
+    "           [--max-retries N] [--retry-backoff-ms X] [--retry-backoff-max-ms X]\n"
+    "           [--default-deadline-ms X] [--max-request-bytes N]\n"
+    "           [--max-hgr-nodes N] [--max-hgr-nets N] [--max-hgr-pins N]\n"
+    "           [--max-hgr-bytes N] [--inject=SPEC] [--inject-seed N]\n"
+    "           [--socket PATH]";
+
+/// Builds the ServerConfig from flags; returns false (after a diagnostic)
+/// on an out-of-range value.
+bool config_from_args(const prop::CliArgs& args,
+                      prop::service::ServerConfig& config) {
+  const auto positive_int = [&](const char* name, long long fallback,
+                                long long& out) {
+    out = args.get_int_or(name, fallback);
+    if (out < 1) {
+      std::fprintf(stderr, "error: --%s must be >= 1\n", name);
+      return false;
+    }
+    return true;
+  };
+  long long v = 0;
+  if (!positive_int("workers", 2, v)) return false;
+  config.workers = static_cast<int>(v);
+  if (!positive_int("queue-limit", 64, v)) return false;
+  config.queue_limit = static_cast<std::size_t>(v);
+  if (!positive_int("aging-interval", 4, v)) return false;
+  config.aging_interval = static_cast<std::uint64_t>(v);
+  config.max_retries = static_cast<int>(args.get_int_or("max-retries", 2));
+  if (config.max_retries < 0) {
+    std::fprintf(stderr, "error: --max-retries must be >= 0\n");
+    return false;
+  }
+  config.retry_backoff_ms = args.get_double_or("retry-backoff-ms", 1.0);
+  config.retry_backoff_max_ms =
+      args.get_double_or("retry-backoff-max-ms", 50.0);
+  config.default_deadline_ms =
+      args.get_double_or("default-deadline-ms", 0.0);
+  if (config.retry_backoff_ms < 0.0 || config.retry_backoff_max_ms < 0.0 ||
+      config.default_deadline_ms < 0.0) {
+    std::fprintf(stderr, "error: millisecond flags must be >= 0\n");
+    return false;
+  }
+  config.max_request_bytes = static_cast<std::size_t>(
+      args.get_int_or("max-request-bytes",
+                      static_cast<std::int64_t>(config.max_request_bytes)));
+  prop::service::ServerConfig defaults;
+  config.hgr_limits.max_nodes = static_cast<std::uint64_t>(args.get_int_or(
+      "max-hgr-nodes", static_cast<std::int64_t>(defaults.hgr_limits.max_nodes)));
+  config.hgr_limits.max_nets = static_cast<std::uint64_t>(args.get_int_or(
+      "max-hgr-nets", static_cast<std::int64_t>(defaults.hgr_limits.max_nets)));
+  config.hgr_limits.max_pins = static_cast<std::uint64_t>(args.get_int_or(
+      "max-hgr-pins", static_cast<std::int64_t>(defaults.hgr_limits.max_pins)));
+  config.hgr_limits.max_bytes = static_cast<std::uint64_t>(args.get_int_or(
+      "max-hgr-bytes", static_cast<std::int64_t>(defaults.hgr_limits.max_bytes)));
+  config.inject = args.get_or("inject", "");
+  config.inject_seed = static_cast<std::uint64_t>(
+      args.get_int_or("inject-seed", 0x5eedfa017LL));
+  return true;
+}
+
+void print_summary(const prop::service::Server& server) {
+  const prop::service::ServerStats s = server.stats();
+  std::fprintf(stderr,
+               "prop_serve: %llu lines, %llu submitted, %llu done, %llu "
+               "failed, %llu shed, %llu invalid, %llu retries, max queue "
+               "depth %zu\n",
+               static_cast<unsigned long long>(s.lines),
+               static_cast<unsigned long long>(s.submitted),
+               static_cast<unsigned long long>(s.done),
+               static_cast<unsigned long long>(s.failed),
+               static_cast<unsigned long long>(s.shed),
+               static_cast<unsigned long long>(s.invalid),
+               static_cast<unsigned long long>(s.retries),
+               s.max_queue_depth);
+}
+
+/// stdin/stdout mode: the plain-pipe deployment (and the test harness).
+int serve_stdio(const prop::service::ServerConfig& config) {
+  prop::service::Server server(config, [](const std::string& line) {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);  // clients read responses as they stream
+  });
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (!server.handle_line(line)) break;
+  }
+  server.drain();
+  print_summary(server);
+  return 0;
+}
+
+#ifndef _WIN32
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n <= 0) return false;  // client gone; responses are dropped, not fatal
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Unix-socket mode: one client at a time, draining between connections so
+/// a slow job's response can never land on the next client's stream.
+int serve_socket(const prop::service::ServerConfig& config,
+                 const std::string& path) {
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the server
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("prop_serve: socket");
+    return 1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long\n");
+    ::close(listener);
+    return 1;
+  }
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 4) != 0) {
+    std::perror("prop_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+
+  int client = -1;
+  prop::service::Server server(config, [&client](const std::string& line) {
+    if (client < 0) return;
+    if (!write_all(client, line.data(), line.size()) ||
+        !write_all(client, "\n", 1)) {
+      // Client hung up mid-response; keep serving (exactly-once is about
+      // emission, a dead peer forfeits delivery).
+    }
+  });
+
+  std::fprintf(stderr, "prop_serve: listening on %s\n", path.c_str());
+  bool running = true;
+  while (running) {
+    client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(client, chunk, sizeof(chunk));
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (std::size_t nl = buffer.find('\n', start);
+           nl != std::string::npos; nl = buffer.find('\n', start)) {
+        const std::string line = buffer.substr(start, nl - start);
+        start = nl + 1;
+        if (!server.handle_line(line)) {
+          running = false;
+          break;
+        }
+      }
+      buffer.erase(0, start);
+      if (!running) break;
+    }
+    server.drain();  // all of this client's responses out before it goes away
+    ::close(client);
+    client = -1;
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  print_summary(server);
+  return 0;
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const prop::CliArgs args(argc, argv);
+  if (!prop::check_flags(
+          args,
+          {"workers", "queue-limit", "aging-interval", "max-retries",
+           "retry-backoff-ms", "retry-backoff-max-ms", "default-deadline-ms",
+           "max-request-bytes", "max-hgr-nodes", "max-hgr-nets",
+           "max-hgr-pins", "max-hgr-bytes", "socket"},
+          kUsage)) {
+    return 2;
+  }
+
+  prop::service::ServerConfig config;
+  if (!config_from_args(args, config)) {
+    return prop::usage_error(argv[0], kUsage);
+  }
+
+  try {
+    if (const auto socket_path = args.get("socket")) {
+#ifndef _WIN32
+      return serve_socket(config, *socket_path);
+#else
+      std::fprintf(stderr, "error: --socket is not supported on this platform\n");
+      return 1;
+#endif
+    }
+    return serve_stdio(config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
