@@ -1,0 +1,285 @@
+// Parallel round-engine benchmark and determinism gate (DESIGN §4i).
+//
+// For each circuit, times PROP end-to-end via run_many under:
+//   * engine "seq":      pass_threads = 0, the classic sequential move loop
+//                        (the quality/speed reference this PR must not touch);
+//   * engine "round-N":  the deterministic round engine at pass_threads =
+//                        1, 2 and 4 — same synchronous schedule, N-way
+//                        intra-pass parallelism.
+//
+// Two contracts are enforced in-binary:
+//   1. Determinism (exit 5): the round engine's best partition (sides +
+//      cut) AND its full --stats-json document (timing excluded) must be
+//      byte-identical across every measured pass_threads value.  This is
+//      the "any N" clause of PropConfig::pass_threads made executable.
+//   2. Perf regression (exit 4): with --baseline FILE, wall seconds are
+//      compared cell-by-cell against the committed BENCH_parallel_pass.json
+//      exactly like bench/gain_kernels — fail past --max-regress (default
+//      0.25) beyond a 5 ms absolute floor.  scripts/verify.sh runs this
+//      gate on every release verification.
+//
+// Every cell is measured --min-of K times (default 3, minimum wall kept):
+// host noise is one-sided, the min is the estimator a 25% gate can sit on.
+//
+// Flags: --fast / --circuit NAME, --runs N, --seed N, --min-of K,
+// --out FILE, --baseline FILE, --max-regress X.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/prop_partitioner.h"
+#include "hypergraph/mcnc_suite.h"
+#include "partition/runner.h"
+#include "util/cli.h"
+#include "util/timer.h"
+
+namespace {
+
+using prop::BalanceConstraint;
+using prop::Hypergraph;
+using prop::MultiRunResult;
+using prop::PropConfig;
+using prop::PropPartitioner;
+
+struct Row {
+  std::string kernel;
+  std::string circuit;
+  std::string engine;
+  std::uint64_t ops = 0;  ///< runs measured
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  double cut = 0.0;  ///< best cut (identical across round-N rows by gate 1)
+};
+
+struct Measured {
+  MultiRunResult result;
+  std::string stats_json;  ///< timing-free document, the determinism witness
+  double wall_seconds = 0.0;
+};
+
+Measured run_prop(const Hypergraph& g, const std::string& circuit,
+                  const BalanceConstraint& balance, int pass_threads,
+                  int runs, std::uint64_t seed, int min_of) {
+  PropConfig config;
+  config.pass_threads = pass_threads;
+  PropPartitioner algo(config);
+  prop::RunnerOptions options;
+  options.collect_telemetry = true;
+
+  Measured m;
+  m.wall_seconds = 1e300;
+  for (int rep = 0; rep < min_of; ++rep) {
+    prop::WallTimer wall;
+    MultiRunResult r = prop::run_many(algo, g, balance, runs, seed, options);
+    const double elapsed = wall.seconds();
+    if (elapsed < m.wall_seconds) m.wall_seconds = elapsed;
+    if (rep == 0) {
+      std::ostringstream json;
+      prop::StatsJsonOptions json_options;
+      json_options.include_timing = false;
+      prop::write_stats_json(json, circuit, algo.name(), r, json_options);
+      m.stats_json = json.str();
+      m.result = std::move(r);
+    }
+  }
+  return m;
+}
+
+// Line-oriented baseline reader; the JSON below keeps one row per line.
+std::string extract_string(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\": \"";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return {};
+  const auto start = at + pat.size();
+  const auto end = line.find('"', start);
+  if (end == std::string::npos) return {};
+  return line.substr(start, end - start);
+}
+
+double extract_double(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\": ";
+  const auto at = line.find(pat);
+  if (at == std::string::npos) return 0.0;
+  return std::atof(line.c_str() + at + pat.size());
+}
+
+std::vector<Row> load_baseline(const std::string& path) {
+  std::vector<Row> rows;
+  std::ifstream f(path);
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.find("\"kernel\"") == std::string::npos) continue;
+    Row r;
+    r.kernel = extract_string(line, "kernel");
+    r.circuit = extract_string(line, "circuit");
+    r.engine = extract_string(line, "engine");
+    r.ops = static_cast<std::uint64_t>(extract_double(line, "ops"));
+    r.wall_seconds = extract_double(line, "wall_seconds");
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const prop::CliArgs args(argc, argv);
+  if (!prop::bench::check_flags(
+          args,
+          {"fast", "circuit", "runs", "seed", "min-of", "out", "baseline",
+           "max-regress"},
+          "[--fast] [--circuit NAME] [--runs N] [--seed N] [--min-of K]\n"
+          "          [--out FILE] [--baseline FILE] [--max-regress X]")) {
+    return 2;
+  }
+  // Default circuit set is deliberately small: the round engine trades CPU
+  // for wall-clock scalability, so full-suite sweeps belong to the table
+  // harnesses, not the perf gate.
+  std::vector<std::string> circuits = {"balu", "struct"};
+  if (const auto one = args.get("circuit")) circuits = {*one};
+  if (args.get_bool_or("fast", false)) circuits = {"balu"};
+  const int runs = static_cast<int>(args.get_int_or("runs", 3));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int_or("seed", 7));
+  const int min_of = static_cast<int>(args.get_int_or("min-of", 3));
+  const std::string out_path = args.get_or("out", "BENCH_parallel_pass.json");
+  const std::string baseline_path = args.get_or("baseline", "");
+  const double max_regress = args.get_double_or("max-regress", 0.25);
+  const int thread_counts[] = {1, 2, 4};
+
+  std::vector<Row> rows;
+  bool diverged = false;
+  std::printf("%-8s %-8s %10s %10s %8s\n", "circuit", "engine", "wall_s",
+              "cpu_s", "cut");
+  for (const std::string& name : circuits) {
+    const Hypergraph g = prop::make_mcnc_circuit(name);
+    const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+
+    const Measured seq = run_prop(g, name, balance, 0, runs, seed, min_of);
+    rows.push_back(Row{"end-to-end", name, "seq",
+                       static_cast<std::uint64_t>(runs), seq.wall_seconds,
+                       seq.result.total_cpu_seconds,
+                       seq.result.best.cut_cost});
+    std::printf("%-8s %-8s %10.4f %10.4f %8.0f\n", name.c_str(), "seq",
+                seq.wall_seconds, seq.result.total_cpu_seconds,
+                seq.result.best.cut_cost);
+
+    const Measured* reference = nullptr;
+    std::vector<Measured> measured;
+    measured.reserve(3);
+    for (const int threads : thread_counts) {
+      measured.push_back(
+          run_prop(g, name, balance, threads, runs, seed, min_of));
+      const Measured& m = measured.back();
+      const std::string engine = "round-" + std::to_string(threads);
+      rows.push_back(Row{"end-to-end", name, engine,
+                         static_cast<std::uint64_t>(runs), m.wall_seconds,
+                         m.result.total_cpu_seconds, m.result.best.cut_cost});
+      std::printf("%-8s %-8s %10.4f %10.4f %8.0f\n", name.c_str(),
+                  engine.c_str(), m.wall_seconds, m.result.total_cpu_seconds,
+                  m.result.best.cut_cost);
+      if (reference == nullptr) {
+        reference = &measured.front();
+        continue;
+      }
+      // Determinism gate: identical best partition and identical
+      // timing-free stats document, byte for byte, for every N.
+      if (m.result.best.side != reference->result.best.side ||
+          m.result.best.cut_cost != reference->result.best.cut_cost) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s pass_threads=%d best "
+                     "partition differs from pass_threads=1\n",
+                     name.c_str(), threads);
+        diverged = true;
+      }
+      if (m.stats_json != reference->stats_json) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s pass_threads=%d stats-json "
+                     "differs from pass_threads=1\n",
+                     name.c_str(), threads);
+        diverged = true;
+      }
+    }
+  }
+
+  // JSON out, one row per line (the baseline reader depends on that).
+  std::ofstream f(out_path);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  f << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"kernel\": \"%s\", \"circuit\": \"%s\", "
+                  "\"engine\": \"%s\", \"ops\": %llu, "
+                  "\"wall_seconds\": %.6f, \"cpu_seconds\": %.6f, "
+                  "\"cut\": %.1f}%s\n",
+                  r.kernel.c_str(), r.circuit.c_str(), r.engine.c_str(),
+                  static_cast<unsigned long long>(r.ops), r.wall_seconds,
+                  r.cpu_seconds, r.cut, i + 1 < rows.size() ? "," : "");
+    f << buf;
+  }
+  f << "]\n";
+  f.close();
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (diverged) {
+    std::fprintf(stderr, "error: round engine output depends on thread "
+                         "count\n");
+    return 5;
+  }
+
+  if (!baseline_path.empty()) {
+    constexpr double kAbsFloorSeconds = 0.005;
+    const std::vector<Row> baseline = load_baseline(baseline_path);
+    if (baseline.empty()) {
+      std::fprintf(stderr, "error: baseline %s is empty or unreadable\n",
+                   baseline_path.c_str());
+      return 4;
+    }
+    int compared = 0;
+    bool regressed = false;
+    for (const Row& cur : rows) {
+      for (const Row& base : baseline) {
+        if (base.kernel != cur.kernel || base.circuit != cur.circuit ||
+            base.engine != cur.engine || base.ops != cur.ops) {
+          continue;
+        }
+        ++compared;
+        const double limit =
+            base.wall_seconds * (1.0 + max_regress) + kAbsFloorSeconds;
+        if (cur.wall_seconds > limit &&
+            cur.wall_seconds > kAbsFloorSeconds * 2) {
+          regressed = true;
+          std::fprintf(stderr,
+                       "PERF REGRESSION: %s/%s/%s wall %.4fs vs baseline "
+                       "%.4fs (limit %.4fs)\n",
+                       cur.kernel.c_str(), cur.circuit.c_str(),
+                       cur.engine.c_str(), cur.wall_seconds,
+                       base.wall_seconds, limit);
+        }
+      }
+    }
+    std::printf("baseline %s: compared %d cells, max allowed regression "
+                "%.0f%%\n",
+                baseline_path.c_str(), compared, max_regress * 100.0);
+    if (compared == 0) {
+      std::fprintf(stderr,
+                   "error: no baseline cells matched this configuration\n");
+      return 4;
+    }
+    if (regressed) {
+      std::fprintf(stderr, "error: perf regression vs %s\n",
+                   baseline_path.c_str());
+      return 4;
+    }
+  }
+  return 0;
+}

@@ -30,6 +30,14 @@ echo "== multilevel perf gate (release) =="
 ./build/bench/multilevel --fast --baseline BENCH_multilevel.json \
   --out build/BENCH_multilevel.json > /dev/null
 
+# Round-engine gate: bench/parallel_pass re-asserts in-binary that the
+# deterministic round engine produces byte-identical partitions and
+# stats-json across pass_threads 1/2/4 (exit 5), then applies the same
+# >25% wall-regression policy against BENCH_parallel_pass.json (exit 4).
+echo "== parallel-pass determinism + perf gate (release) =="
+./build/bench/parallel_pass --fast --baseline BENCH_parallel_pass.json \
+  --out build/BENCH_parallel_pass.json > /dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer pass (--fast) =="
   exit 0
@@ -77,15 +85,17 @@ printf '%s\n%s\n' \
   > /dev/null
 
 # ThreadSanitizer over everything that touches the thread pool or the
-# cross-thread stop latch: the parallel runner suites, the pool itself, and
-# the runtime suites whose objects the workers share.  The whole test suite
-# is single-threaded apart from these, so the targeted run is the honest
-# TSan surface, not a shortcut.
+# cross-thread stop latch: the parallel runner suites, the pool itself, the
+# intra-pass round engine (ParallelPass/ParallelFor/ProbGainBatch), the
+# socket front end (SocketServer/LineFramer, matched by 'Server'), and the
+# runtime suites whose objects the workers share.  The whole test suite is
+# single-threaded apart from these, so the targeted run is the honest TSan
+# surface, not a shortcut.
 echo "== tsan build + concurrency suites =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs"
 ctest --preset tsan -j "$jobs" \
-  -R 'ParallelRunner|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector|EngineEquivalence|ProbGainProperty|JobStore|Admission|Server'
+  -R 'ParallelRunner|ParallelPass|ParallelFor|SplitIndexRange|ProbGainBatch|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector|EngineEquivalence|ProbGainProperty|JobStore|Admission|Server'
 
 echo "== tsan service smoke =="
 ./build-tsan/bench/service_throughput --fast --jobs 40 --queue-limit 6 \
@@ -96,5 +106,9 @@ echo "== tsan parallel smoke =="
   > /dev/null
 ./build-tsan/tools/prop_cli --circuit t4 --algo prop --runs 4 --threads 2 \
   --time-budget-ms 1 --on-timeout=best > /dev/null
+# The round engine's parallel sweeps (gain snapshot, probability staging,
+# per-net product rebuild) under TSan — the data-race surface of DESIGN §4i.
+./build-tsan/tools/prop_cli --circuit balu --algo prop --runs 2 \
+  --pass-threads 4 > /dev/null
 
 echo "== verify OK =="

@@ -141,6 +141,46 @@ void ProbGainCalculator::lock(NodeId u) {
   }
 }
 
+void ProbGainCalculator::stage_probability(NodeId u, double p) {
+  if (locked_[u]) throw std::logic_error("prob gain: node is locked");
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("prob gain: p out of [0,1]");
+  p_[u] = p;
+  if (maintains_cache()) {
+    recip_[u] = p == 0.0 ? 0.0 : 1.0 / p;
+  }
+}
+
+void ProbGainCalculator::rebuild_products(NetId begin, NetId end) {
+  if (!maintains_cache()) return;
+  for (NetId n = begin; n < end; ++n) {
+    renormalize_side(n, 0);
+    renormalize_side(n, 1);
+  }
+}
+
+void ProbGainCalculator::apply_moves(Partition& part, const NodeId* movers,
+                                     std::size_t count) {
+  if (&part != part_) {
+    throw std::logic_error("prob gain: apply_moves on a foreign partition");
+  }
+  const Hypergraph& g = part.graph();
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId u = movers[i];
+    if (locked_[u]) throw std::logic_error("prob gain: mover already locked");
+    const int from = part.side(u);
+    part.move(u);
+    locked_[u] = 1;
+    p_[u] = 0.0;
+    if (maintains_cache()) recip_[u] = 0.0;
+    // lock() would add u to locked_pins_[from] and move_locked() would then
+    // shift it to the destination; batched, only the destination increment
+    // survives.  Products are left stale for the caller's rebuild.
+    for (const NetId n : g.nets_of(u)) {
+      ++locked_pins_[2 * n + (1 - from)];
+    }
+  }
+}
+
 void ProbGainCalculator::move_locked(NodeId u, int from_side) {
   if (!locked_[u]) throw std::logic_error("prob gain: moved node must be locked");
   // Locked pins are outside every free product, so only the locked-pin

@@ -107,6 +107,46 @@ class ProbGainCalculator {
   /// Records that locked node u moved sides (call after Partition::move).
   void move_locked(NodeId u, int from_side);
 
+  // --- Batched interface for the deterministic round engine (DESIGN §4i) --
+  //
+  // The parallel pass engine never drives the cache through the O(degree)
+  // incremental updates above.  Instead it writes per-node state in bulk
+  // from concurrent node-disjoint chunks (stage_probability), applies a
+  // whole round's committed moves in one deterministic sweep (apply_moves),
+  // and then rebuilds the per-(net, side) products by partitioned per-net
+  // reduction (rebuild_products over disjoint net ranges) — every slot is
+  // recomputed exactly once, in pin order, by whichever chunk owns the net,
+  // so the rebuilt cache is bit-identical to a scratch recompute and
+  // carries zero incremental drift regardless of how many threads ran.
+  //
+  // The read path is safe to share: gain() / for_each_net_gain() /
+  // removal_probability() are const, touch no mutable state, and
+  // renormalization only ever fires inside the write path — so any number
+  // of threads may query gains concurrently as long as no thread is inside
+  // one of the mutating calls.
+
+  /// Writes p(u) (and its cached reciprocal) WITHOUT maintaining the
+  /// per-(net, side) products; u must be free.  Concurrent calls for
+  /// distinct nodes are race-free (each touches only its own slots).  The
+  /// products of every net of every staged node are stale until the caller
+  /// runs rebuild_products over them.
+  void stage_probability(NodeId u, double p);
+
+  /// Exactly recomputes both (net, side) product slots and zero counters of
+  /// every net in [begin, end) from the pins — pin-order multiplication,
+  /// bit-identical to the scratch oracle — and restarts their
+  /// renormalization epochs.  Concurrent calls on disjoint net ranges are
+  /// race-free.  No-op under the scratch engine.
+  void rebuild_products(NetId begin, NetId end);
+
+  /// Applies one committed round of moves, in order: for each mover —
+  /// Partition::move, lock (p := 0), and the locked-pin table update — with
+  /// NO product maintenance.  `part` must be the partition this calculator
+  /// observes; the caller must rebuild_products over every touched net (or
+  /// all nets) before the next gain query.  Throws if a mover is already
+  /// locked.
+  void apply_moves(Partition& part, const NodeId* movers, std::size_t count);
+
   /// Probabilistic gain g(u) = sum over nets of u of g_n(u).
   /// O(degree(u)) cached, O(degree(u) * netsize) scratch.  Shadow returns
   /// the scratch answer after asserting the cached one agrees within

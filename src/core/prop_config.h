@@ -53,6 +53,22 @@ struct PropConfig {
 
   int max_passes = 64;
 
+  /// Intra-pass parallelism (DESIGN.md §4i).  0 — the default — runs the
+  /// classic sequential move-by-move engine of Fig. 2, byte-for-byte
+  /// unchanged.  N >= 1 switches to the deterministic round-based engine:
+  /// each round every free node's probabilistic gain is computed
+  /// concurrently against a read-only snapshot of the cached products, a
+  /// deterministic conflict-resolution walk (gain-ordered, id tie-broken,
+  /// balance-prefix-feasible, net-disjoint) commits a compatible subset of
+  /// moves, and the product cache is rebuilt by partitioned per-net
+  /// reduction.  N = 1 is the serial reference execution of that engine —
+  /// the oracle — and every N >= 2 runs the same rounds on N threads
+  /// (1 owned pool of N-1 workers + the calling thread) producing
+  /// byte-identical partitions and stats for any N.  Note the round engine
+  /// is a different (synchronous) schedule from the sequential engine, so
+  /// its cuts legitimately differ from pass_threads = 0.
+  int pass_threads = 0;
+
   /// Opt-in per-pass trajectory recording; null records nothing.
   RefineTelemetry* telemetry = nullptr;
 

@@ -22,6 +22,24 @@ constexpr double kEps = 1e-9;
 /// refresh-node tree updates).
 constexpr double kGainEps = 1e-12;
 
+/// Per-round commit cap for the round engine: at most ~sqrt(free)/3 moves
+/// commit per round.  Whole-snapshot commits are maximally parallel but
+/// order moves far worse than the sequential engine's adaptive best-first
+/// selection: a committed move invalidates the snapshot gains of its
+/// neighborhood, so good follow-up moves end up interleaved with the
+/// round's bad tail in the prefix order, which best-prefix rollback cannot
+/// separate (measured: ~2x worse mean cut with unbounded rounds).  The
+/// quality-neutral cap grows sublinearly with instance size (~8 at 800
+/// nodes, ~32 at 10^4 — steep degradation past ~4x those), which sqrt(n)/3
+/// tracks on both scales.  The cap depends only on the candidate count —
+/// never on scheduling — so determinism is preserved; std::sqrt on exact
+/// small integers is correctly rounded and platform-stable.
+std::size_t round_commit_cap(std::size_t candidates) {
+  const auto cap =
+      static_cast<std::size_t>(std::sqrt(static_cast<double>(candidates)) / 3.0);
+  return cap < 1 ? 1 : cap;
+}
+
 }  // namespace
 
 PropRefiner::PropRefiner(Partition& part, const BalanceConstraint& balance,
@@ -40,6 +58,197 @@ PropRefiner::PropRefiner(Partition& part, const BalanceConstraint& balance,
   to_refresh_.reserve(part.graph().num_nodes());
   sort_scratch_[0].reserve(part.graph().num_nodes());
   sort_scratch_[1].reserve(part.graph().num_nodes());
+  if (config.pass_threads >= 1) {
+    round_order_.reserve(part.graph().num_nodes());
+    net_stamp_.assign(part.graph().num_nets(), 0);
+    if (config.pass_threads >= 2) {
+      pass_pool_ = std::make_unique<ThreadPool>(config.pass_threads - 1);
+    }
+  }
+}
+
+double PropRefiner::run_pass(PassStats* stats) {
+  return config_->pass_threads >= 1 ? run_round_pass(stats)
+                                    : run_sequential_pass(stats);
+}
+
+void PropRefiner::parallel_gain_sweep() {
+  parallel_for(pass_pool_.get(), part_->graph().num_nodes(),
+               [this](std::size_t begin, std::size_t end) {
+                 for (std::size_t u = begin; u < end; ++u) {
+                   const NodeId v = static_cast<NodeId>(u);
+                   gains_[v] = calc_.is_free(v) ? calc_.gain(v) : 0.0;
+                 }
+               });
+}
+
+void PropRefiner::stage_probabilities_and_rebuild() {
+  const ProbabilityModel& model = config_->model;
+  parallel_for(pass_pool_.get(), part_->graph().num_nodes(),
+               [this, &model](std::size_t begin, std::size_t end) {
+                 for (std::size_t u = begin; u < end; ++u) {
+                   const NodeId v = static_cast<NodeId>(u);
+                   if (calc_.is_free(v)) {
+                     calc_.stage_probability(v, model.from_gain(gains_[v]));
+                   }
+                 }
+               });
+  parallel_for(pass_pool_.get(), part_->graph().num_nets(),
+               [this](std::size_t begin, std::size_t end) {
+                 calc_.rebuild_products(static_cast<NetId>(begin),
+                                        static_cast<NetId>(end));
+               });
+}
+
+void PropRefiner::bootstrap_probabilities_parallel() {
+  const Partition& part = *part_;
+  const PropConfig& config = *config_;
+  const bool uniform = config.bootstrap == PropBootstrap::kUniform;
+  parallel_for(pass_pool_.get(), part.graph().num_nodes(),
+               [this, &part, &config, uniform](std::size_t begin,
+                                               std::size_t end) {
+                 for (std::size_t u = begin; u < end; ++u) {
+                   const NodeId v = static_cast<NodeId>(u);
+                   calc_.stage_probability(
+                       v, uniform ? config.model.pinit
+                                  : config.model.from_gain(
+                                        part.immediate_gain(v)));
+                 }
+               });
+  parallel_for(pass_pool_.get(), part.graph().num_nets(),
+               [this](std::size_t begin, std::size_t end) {
+                 calc_.rebuild_products(static_cast<NetId>(begin),
+                                        static_cast<NetId>(end));
+               });
+  for (int iter = 0; iter < config.refine_iterations; ++iter) {
+    // Node-major on purpose: gains_[u] accumulates over u's nets in a fixed
+    // per-node order regardless of how the index range is chunked, unlike
+    // the sequential engine's net-major accumulation whose FP sum order
+    // would depend on the chunking.
+    parallel_gain_sweep();
+    stage_probabilities_and_rebuild();
+  }
+}
+
+/// One PROP pass as synchronous move rounds (DESIGN §4i).  Each round:
+/// (1) every free node's probabilistic gain is computed in parallel against
+/// the round-start snapshot of probabilities and cached products;
+/// (2) candidates are ordered deterministically (gain descending, node id
+/// ascending — an exact double compare, no scheduling influence);
+/// (3) a sequential conflict-resolution walk commits the maximal ordered
+/// subset that is balance-feasible against the live side sizes and
+/// net-disjoint within the round (first committed pin stamps all its nets),
+/// so every committed move's immediate gain — evaluated live during the
+/// walk — equals its snapshot value, and the prefix bookkeeping is exact;
+/// (4) surviving free nodes get probabilities refreshed from the snapshot
+/// gains and the product cache is rebuilt exactly by partitioned per-net
+/// reduction.  Parallel phases only ever write disjoint slots computed from
+/// read-only state, and every cross-thread reduction is replaced by an
+/// exact per-net pin-order recompute, so the pass is byte-identical for any
+/// pass_threads >= 1 (pass_threads == 1 runs the same code inline — the
+/// serial reference).  The cache carries zero incremental drift by
+/// construction, so the audit/resync/degradation machinery of the
+/// sequential engine has nothing to police here.
+double PropRefiner::run_round_pass(PassStats* stats) {
+  Partition& part = *part_;
+  const Hypergraph& g = part.graph();
+  const NodeId n = g.num_nodes();
+  const BalanceConstraint& balance = *balance_;
+  const RunContext* ctx = config_->context;
+
+  calc_.reset();
+  bootstrap_probabilities_parallel();
+
+  moved_.clear();
+  double prefix = 0.0;
+  double best_prefix = 0.0;
+  std::size_t best_count = 0;
+
+  // One stamp per round; rewind before the epoch counter can wrap (at most
+  // one stamp per round, at most n rounds per pass).
+  if (round_stamp_ >= static_cast<std::uint32_t>(-1) - n - 1) {
+    std::fill(net_stamp_.begin(), net_stamp_.end(), 0);
+    round_stamp_ = 0;
+  }
+
+  while (true) {
+    if (ctx && ctx->refine_should_stop()) {
+      interrupted_ = true;
+      break;
+    }
+    // (1) Snapshot gains of every free node, in parallel.
+    parallel_gain_sweep();
+
+    // (2) Deterministic candidate order.
+    round_order_.clear();
+    for (NodeId u = 0; u < n; ++u) {
+      if (calc_.is_free(u)) round_order_.emplace_back(gains_[u], u);
+    }
+    if (round_order_.empty()) break;
+    std::sort(round_order_.begin(), round_order_.end(),
+              [](const std::pair<double, NodeId>& a,
+                 const std::pair<double, NodeId>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+
+    // (3) Sequential conflict-resolution walk.  Commits per round are
+    // capped: a whole-snapshot commit is maximally parallel but orders
+    // moves far worse than the sequential engine's adaptive best-first
+    // selection (every commit invalidates the snapshot gains of its
+    // neighborhood, and with no cap the tail of the round runs on badly
+    // stale gains).  Capping at a fraction of the free nodes keeps rounds
+    // large enough to parallelize while re-snapshotting often enough to
+    // stay close to the sequential engine's quality.
+    const std::size_t max_commits = round_commit_cap(round_order_.size());
+    ++round_stamp_;
+    const std::size_t round_begin = moved_.size();
+    for (const std::pair<double, NodeId>& cand : round_order_) {
+      if (moved_.size() - round_begin >= max_commits) break;
+      const NodeId u = cand.second;
+      if (!balance.move_feasible(part.side_size(0), part.side(u),
+                                 g.node_size(u))) {
+        continue;
+      }
+      bool conflict = false;
+      for (const NetId net : g.nets_of(u)) {
+        if (net_stamp_[net] == round_stamp_) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) continue;
+      for (const NetId net : g.nets_of(u)) net_stamp_[net] = round_stamp_;
+
+      // Net-disjointness makes the live immediate gain equal to its
+      // round-start snapshot value: no net of u changed this round.
+      const double immediate = part.immediate_gain(u);
+      calc_.apply_moves(part, &u, 1);
+      moved_.push_back(u);
+      prefix += immediate;
+      if (prefix > best_prefix + kEps) {
+        best_prefix = prefix;
+        best_count = moved_.size();
+      }
+    }
+    if (stats) ++stats->rounds;
+    if (moved_.size() == round_begin) break;  // nothing movable: pass over
+
+    // (4) Refresh probabilities from the snapshot gains (the paper's
+    // Sec. 3.4 staleness policy, batched per round) and rebuild the cache.
+    stage_probabilities_and_rebuild();
+  }
+
+  // Step 10: keep only the maximum-prefix moves.
+  for (std::size_t i = moved_.size(); i > best_count; --i) {
+    part.move(moved_[i - 1]);
+  }
+  if (stats) {
+    stats->moves_attempted = moved_.size();
+    stats->moves_accepted = best_count;
+    stats->best_prefix_gain = best_prefix;
+  }
+  return best_prefix;
 }
 
 /// Steps 3-4 of Fig. 2: bootstrap probabilities, then iterate
@@ -167,7 +376,7 @@ double PropRefiner::audit(PassStats* stats, bool expect_scratch_match) const {
   return drift.max_abs;
 }
 
-double PropRefiner::run_pass(PassStats* stats) {
+double PropRefiner::run_sequential_pass(PassStats* stats) {
   Partition& part = *part_;
   const PropConfig& config = *config_;
   const Hypergraph& g = part.graph();

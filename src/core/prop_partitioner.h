@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "datastruct/avl_tree.h"
 #include "partition/partition.h"
 #include "partition/partitioner.h"
+#include "util/thread_pool.h"
 
 namespace prop {
 
@@ -37,7 +39,9 @@ class PropRefiner {
   /// Runs one PROP pass (steps 3-10 of Fig. 2): bootstrap probabilities,
   /// speculatively move every feasible node by probabilistic gain, roll
   /// back to the maximum prefix of immediate gains.  Returns the accepted
-  /// improvement.
+  /// improvement.  Dispatches to the sequential move-by-move engine
+  /// (PropConfig::pass_threads == 0) or the deterministic round engine
+  /// (pass_threads >= 1, DESIGN §4i).
   double run_pass(PassStats* stats = nullptr);
 
   /// Deadline/cancellation stopped the last pass early (sticky).
@@ -53,7 +57,20 @@ class PropRefiner {
  private:
   using GainTree = AvlTree<double>;
 
+  double run_sequential_pass(PassStats* stats);
+  double run_round_pass(PassStats* stats);
   void bootstrap_probabilities();
+  /// Round-engine bootstrap: same fixed point as bootstrap_probabilities,
+  /// but via bulk staging + partitioned product rebuilds + node-major
+  /// parallel gain sweeps, so the result is byte-identical for any thread
+  /// count.  Leaves gains_ filled.
+  void bootstrap_probabilities_parallel();
+  /// Parallel node-major sweep: gains_[u] = calc_.gain(u) for every node
+  /// (locked nodes read 0).  Disjoint writes against a read-only snapshot.
+  void parallel_gain_sweep();
+  /// Stages p(u) = f(gains_[u]) for every free node, then rebuilds all
+  /// cached (net, side) products by partitioned per-net reduction.
+  void stage_probabilities_and_rebuild();
   void refresh_node(NodeId v, PassStats* stats);
   void resync_gains(PassStats* stats);
   double audit(PassStats* stats, bool expect_scratch_match) const;
@@ -75,6 +92,15 @@ class PropRefiner {
   // Pass-start (gain, node) staging for the sorted bulk load of the trees.
   std::vector<std::pair<double, NodeId>> sort_scratch_[2];
   std::uint32_t stamp_ = 0;
+
+  // Round-engine state (pass_threads >= 1 only; empty/null otherwise).
+  // pass_pool_ holds pass_threads - 1 workers — the calling thread runs the
+  // first chunk of every parallel_for — or stays null at pass_threads == 1,
+  // the serial reference execution.
+  std::unique_ptr<ThreadPool> pass_pool_;
+  std::vector<std::pair<double, NodeId>> round_order_;
+  std::vector<std::uint32_t> net_stamp_;
+  std::uint32_t round_stamp_ = 0;
 
   bool interrupted_ = false;
   bool fallback_to_fm_ = false;

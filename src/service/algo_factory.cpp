@@ -18,7 +18,8 @@ std::optional<GainEngine> parse_gain_engine(const std::string& name) {
 }
 
 std::unique_ptr<Bipartitioner> make_algo(const std::string& name,
-                                         GainEngine gain_engine) {
+                                         GainEngine gain_engine,
+                                         int pass_threads) {
   if (name == "fm") return std::make_unique<FmPartitioner>();
   if (name == "fm-tree") {
     return std::make_unique<FmPartitioner>(FmConfig{FmStructure::kTree});
@@ -29,6 +30,7 @@ std::unique_ptr<Bipartitioner> make_algo(const std::string& name,
   if (name == "prop") {
     PropConfig config;
     config.gain_engine = gain_engine;
+    config.pass_threads = pass_threads < 0 ? 0 : pass_threads;
     return std::make_unique<PropPartitioner>(config);
   }
   if (name == "eig1") return std::make_unique<Eig1Partitioner>();

@@ -17,9 +17,12 @@ std::optional<GainEngine> parse_gain_engine(const std::string& name);
 
 /// Builds the partitioner registered under `name` (fm, fm-tree, la2, la3,
 /// kl, prop, eig1, melo, paraboli, window); nullptr for unknown names.
-/// `gain_engine` applies to the PROP family only.
+/// `gain_engine` and `pass_threads` (PropConfig::pass_threads: 0 =
+/// sequential engine, >= 1 = deterministic round engine on that many
+/// threads) apply to the PROP family only.
 std::unique_ptr<Bipartitioner> make_algo(
-    const std::string& name, GainEngine gain_engine = GainEngine::kCached);
+    const std::string& name, GainEngine gain_engine = GainEngine::kCached,
+    int pass_threads = 0);
 
 /// Space-separated list of the registered names, for usage/error messages.
 const std::string& algo_names();

@@ -367,7 +367,8 @@ void Server::run_job(const JobSpec& spec) {
     return;
   }
 
-  const auto algo = make_algo(spec.algo);
+  const auto algo =
+      make_algo(spec.algo, GainEngine::kCached, spec.pass_threads);
   const BalanceConstraint balance = spec.balance == "50-50"
                                         ? BalanceConstraint::fifty_fifty(g)
                                         : BalanceConstraint::forty_five(g);

@@ -1,0 +1,158 @@
+#include "service/socket_server.h"
+
+#ifndef _WIN32
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace prop::service {
+namespace {
+
+/// Writes the whole buffer, retrying short writes and EINTR.  False when
+/// the client is gone (EPIPE & co.) — responses to a dead peer are dropped,
+/// not fatal (exactly-once is about emission; a hung-up client forfeits
+/// delivery).
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool LineFramer::feed(const char* data, std::size_t size,
+                      const std::function<bool(const std::string&)>& on_line) {
+  buffer_.append(data, size);
+  std::size_t start = 0;
+  bool keep_going = true;
+  for (std::size_t nl = buffer_.find('\n', start);
+       nl != std::string::npos && keep_going; nl = buffer_.find('\n', start)) {
+    const std::string line = buffer_.substr(start, nl - start);
+    start = nl + 1;
+    keep_going = on_line(line);
+  }
+  buffer_.erase(0, start);
+  return keep_going;
+}
+
+bool LineFramer::finish(
+    const std::function<bool(const std::string&)>& on_line) {
+  if (buffer_.empty()) return true;
+  // A client may close its write side right after the last request without
+  // a trailing '\n'; EOF terminates the line (documented wire framing).
+  std::string line;
+  line.swap(buffer_);
+  return on_line(line);
+}
+
+SocketLineServer::SocketLineServer(const ServerConfig& config,
+                                   std::string path)
+    : path_(std::move(path)),
+      server_(config, [this](const std::string& line) {
+        // Called from worker threads under the Server's sink mutex; the
+        // accept loop publishes/retires the connection fd atomically, so
+        // this either writes to the live client or drops the response.
+        const int fd = client_.load(std::memory_order_acquire);
+        if (fd < 0) return;
+        if (!write_all(fd, line.data(), line.size()) ||
+            !write_all(fd, "\n", 1)) {
+          // Client hung up mid-response; keep serving.
+        }
+      }) {}
+
+SocketLineServer::~SocketLineServer() {
+  if (listener_ >= 0) {
+    ::close(listener_);
+    ::unlink(path_.c_str());
+  }
+}
+
+bool SocketLineServer::listen() {
+  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the server
+
+  listener_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener_ < 0) {
+    std::perror("prop_serve: socket");
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long\n");
+    ::close(listener_);
+    listener_ = -1;
+    return false;
+  }
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path_.c_str());
+  ::unlink(path_.c_str());
+  if (::bind(listener_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener_, 4) != 0) {
+    std::perror("prop_serve: bind/listen");
+    ::close(listener_);
+    listener_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool SocketLineServer::serve_client(int fd) {
+  LineFramer framer;
+  const auto on_line = [this](const std::string& line) {
+    return server_.handle_line(line);
+  };
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      // A signal during a long job interrupts read(); that is not EOF —
+      // retry.  Only a real error ends the connection (logged: a silently
+      // dropped client is the bug this replaces).
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "prop_serve: read: %s\n", std::strerror(errno));
+      return true;
+    }
+    if (n == 0) break;  // EOF: client closed its write side
+    if (!framer.feed(chunk, static_cast<std::size_t>(n), on_line)) {
+      return false;  // shutdown request
+    }
+  }
+  return framer.finish(on_line);
+}
+
+void SocketLineServer::serve() {
+  bool running = true;
+  while (running) {
+    int fd;
+    do {
+      fd = ::accept(listener_, nullptr, nullptr);
+    } while (fd < 0 && errno == EINTR);
+    if (fd < 0) break;
+    client_.store(fd, std::memory_order_release);
+    running = serve_client(fd);
+    // All of this client's responses out before it goes away: a later
+    // client must never receive them.
+    server_.drain();
+    client_.store(-1, std::memory_order_release);
+    ::close(fd);
+  }
+}
+
+}  // namespace prop::service
+
+#endif  // !_WIN32

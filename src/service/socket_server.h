@@ -1,0 +1,96 @@
+// Unix-domain-socket front end of the partitioning job server (DESIGN §4h).
+//
+// Extracted from tools/prop_serve.cpp so the wire framing and the accept
+// loop are unit-testable with a real in-process AF_UNIX client.  One client
+// is served at a time; the server drains between connections so a slow
+// job's response can never land on a later client's stream.
+//
+// Wire framing: one JSON request per '\n'-terminated line.  A final line
+// that arrives WITHOUT a trailing newline before the client closes its
+// write side is still a complete request — EOF is its terminator.  Signals
+// interrupting read() (EINTR) are retried, never treated as EOF; only a
+// 0-byte read or a real error (logged with errno) ends a connection.
+#pragma once
+
+#ifndef _WIN32
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "service/server.h"
+
+namespace prop::service {
+
+/// Splits an incoming byte stream into newline-delimited protocol lines.
+/// Bytes may arrive in arbitrary chunks; partial lines stay buffered across
+/// feed() calls.
+class LineFramer {
+ public:
+  /// Appends a chunk and invokes on_line(line) — line excludes the '\n' —
+  /// for each line completed by it, in order.  Returns false (leaving any
+  /// later completed lines and the partial tail buffered) as soon as
+  /// on_line returns false.
+  bool feed(const char* data, std::size_t size,
+            const std::function<bool(const std::string&)>& on_line);
+
+  /// Signals end of stream: a buffered final line without a trailing
+  /// newline is handed to on_line as a complete request (a client that
+  /// closes right after its last request must not have it dropped).
+  /// Returns on_line's verdict, or true if nothing was buffered.
+  bool finish(const std::function<bool(const std::string&)>& on_line);
+
+  /// Bytes currently buffered without a terminating newline.
+  const std::string& residual() const noexcept { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// The socket-mode deployment of Server: bind + listen on a unix-domain
+/// path, then serve clients sequentially until a shutdown request or a
+/// listener failure.  Owns the socket fds and unlinks the path on
+/// destruction.
+class SocketLineServer {
+ public:
+  SocketLineServer(const ServerConfig& config, std::string path);
+  ~SocketLineServer();
+
+  SocketLineServer(const SocketLineServer&) = delete;
+  SocketLineServer& operator=(const SocketLineServer&) = delete;
+
+  /// Creates, binds and listens the socket (ignoring SIGPIPE — a vanished
+  /// client must not kill the server).  Returns false after a stderr
+  /// diagnostic on failure.  Once this returns true, clients can connect
+  /// (the backlog queues them until serve() accepts).
+  bool listen();
+
+  /// Accept loop: serves one client at a time until a shutdown request or
+  /// an accept failure, draining the job server between connections.
+  /// Blocking — run it from the thread that owns the server's lifetime.
+  void serve();
+
+  ServerStats stats() const { return server_.stats(); }
+
+ private:
+  /// Reads one connection to EOF/shutdown.  Returns false when a shutdown
+  /// request was seen (the accept loop then stops).
+  bool serve_client(int fd);
+
+  std::string path_;
+  int listener_ = -1;
+  /// Fd of the connection currently being served.  Worker threads read it
+  /// through the Server's response sink while the accept loop replaces it
+  /// between connections, so the handoff must be atomic — the sink either
+  /// sees the live client or -1, never a torn/stale value.
+  std::atomic<int> client_{-1};
+  /// Declared after client_: the Server's sink captures `this` and reads
+  /// client_, so the atomic must outlive the worker pool (members destroy
+  /// in reverse declaration order).
+  Server server_;
+};
+
+}  // namespace prop::service
+
+#endif  // !_WIN32

@@ -232,7 +232,7 @@ std::optional<JobSpec> job_spec_from_json(const JsonValue& v,
       "op",       "id",          "tenant",     "priority",
       "algo",     "circuit",     "hgr",        "runs",
       "seed",     "balance",     "deadline_ms", "max_retries",
-      "stats_timing", "return_partition"};
+      "stats_timing", "return_partition", "pass_threads"};
   for (const JsonValue::Member& m : v.members()) {
     bool known = false;
     for (const char* k : kKnown) {
@@ -358,6 +358,18 @@ std::optional<JobSpec> job_spec_from_json(const JsonValue& v,
   } else if (!ok) {
     return std::nullopt;
   }
+  if (const JsonValue* pass_threads = expect(v, "pass_threads",
+                                             JsonValue::Type::kNumber, false,
+                                             error, &ok)) {
+    const std::int64_t t = pass_threads->as_int64();
+    if (t < 0 || t > 256) {
+      set_error(error, "field 'pass_threads' must be in [0, 256]");
+      return std::nullopt;
+    }
+    spec.pass_threads = static_cast<int>(t);
+  } else if (!ok) {
+    return std::nullopt;
+  }
   return spec;
 }
 
@@ -377,6 +389,8 @@ JsonValue job_spec_to_json(const JobSpec& spec) {
           JsonValue::number(static_cast<std::int64_t>(spec.max_retries)));
   out.set("stats_timing", JsonValue::boolean(spec.stats_timing));
   out.set("return_partition", JsonValue::boolean(spec.return_partition));
+  out.set("pass_threads",
+          JsonValue::number(static_cast<std::int64_t>(spec.pass_threads)));
   return out;
 }
 

@@ -77,6 +77,11 @@ struct JobSpec {
   int max_retries = -1;          ///< transient-fault retries; -1 = server default
   bool stats_timing = true;      ///< timing fields inside the result stats
   bool return_partition = false; ///< include the best side vector
+  /// PROP intra-pass threads (PropConfig::pass_threads): 0 = sequential
+  /// engine, N >= 1 = deterministic round engine — part of the spec because
+  /// the two engines produce different (each deterministic) results; any
+  /// N >= 1 yields identical bytes, so results stay a function of the spec.
+  int pass_threads = 0;
 };
 
 /// Parses a submit-request object.  Unknown fields are rejected (the flag

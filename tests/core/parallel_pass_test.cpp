@@ -1,0 +1,150 @@
+// The deterministic round engine (DESIGN §4i): byte-identical partitions
+// and pass stats for every pass_threads >= 1, validity/monotonicity of the
+// round schedule, and engine-equivalence of the gain backends under it.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/prop_partitioner.h"
+#include "partition/initial.h"
+#include "partition/validate.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+PropConfig round_config(int pass_threads) {
+  PropConfig config;
+  config.pass_threads = pass_threads;
+  return config;
+}
+
+TEST(ParallelPass, ByteIdenticalAcrossThreadCounts) {
+  // pass_threads = 1 is the serial reference execution of the round
+  // engine; every higher thread count must reproduce it exactly — same
+  // sides, same cut — on both a random and a planted-structure circuit.
+  const Hypergraph circuits[] = {testing::small_random_circuit(61),
+                                 testing::chain_of_blocks(8, 8)};
+  for (const Hypergraph& g : circuits) {
+    const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+    PropPartitioner reference(round_config(1));
+    const PartitionResult want = reference.run(g, balance, 9);
+    for (const int threads : {2, 3, 4}) {
+      PropPartitioner prop_algo(round_config(threads));
+      const PartitionResult got = prop_algo.run(g, balance, 9);
+      EXPECT_EQ(got.side, want.side) << "pass_threads=" << threads;
+      EXPECT_EQ(got.cut_cost, want.cut_cost) << "pass_threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelPass, PassStatsIdenticalAcrossThreadCounts) {
+  // Not just the final sides: every counter the pass reports (moves,
+  // rounds, accepted prefix, its gain) is part of the determinism
+  // contract.  Exact equality on the doubles is intentional.
+  const Hypergraph g = testing::small_random_circuit(17);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(17);
+  const auto sides = random_balanced_sides(g, balance, rng);
+
+  std::vector<PassStats> want;
+  {
+    Partition part(g, sides);
+    const PropConfig config = round_config(1);
+    PropRefiner refiner(part, balance, config);
+    for (int pass = 0; pass < 3; ++pass) {
+      PassStats stats;
+      refiner.run_pass(&stats);
+      want.push_back(stats);
+    }
+  }
+  for (const int threads : {2, 4}) {
+    Partition part(g, sides);
+    const PropConfig config = round_config(threads);
+    PropRefiner refiner(part, balance, config);
+    for (int pass = 0; pass < 3; ++pass) {
+      PassStats stats;
+      refiner.run_pass(&stats);
+      EXPECT_EQ(stats.moves_attempted, want[pass].moves_attempted);
+      EXPECT_EQ(stats.moves_accepted, want[pass].moves_accepted);
+      EXPECT_EQ(stats.rounds, want[pass].rounds);
+      EXPECT_EQ(stats.best_prefix_gain, want[pass].best_prefix_gain);
+    }
+  }
+}
+
+TEST(ParallelPass, RoundEngineIsValidBalancedAndNeverWorse) {
+  const Hypergraph g = testing::small_random_circuit(67);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  for (const int threads : {1, 2}) {
+    Rng rng(67);
+    for (int trial = 0; trial < 3; ++trial) {
+      Partition part(g, random_balanced_sides(g, balance, rng));
+      const double initial = part.cut_cost();
+      const RefineOutcome out = prop_refine(part, balance,
+                                            round_config(threads));
+      EXPECT_LE(out.cut_cost, initial);
+      EXPECT_NEAR(out.cut_cost, part.recompute_cut_cost(), 1e-9);
+      EXPECT_TRUE(balance.feasible(part.side_size(0)));
+    }
+  }
+}
+
+TEST(ParallelPass, RoundEngineCountsRounds) {
+  const Hypergraph g = testing::small_random_circuit(23);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(23);
+  Partition part(g, random_balanced_sides(g, balance, rng));
+  const PropConfig config = round_config(2);
+  PropRefiner refiner(part, balance, config);
+  PassStats stats;
+  refiner.run_pass(&stats);
+  EXPECT_GT(stats.rounds, 0u);
+  // Each round commits at least one move (or ends the pass), so the round
+  // count never exceeds the speculative move count.
+  EXPECT_LE(stats.rounds, stats.moves_attempted);
+}
+
+TEST(ParallelPass, ShadowEngineReproducesScratchUnderRoundEngine) {
+  // Engine equivalence under the round engine: kShadow answers every gain
+  // query through the scratch oracle while maintaining AND cross-checking
+  // the cached products of each rebuilt round (it throws on divergence
+  // beyond kProductAuditTol), so a shadow run must reproduce the scratch
+  // run exactly.  kCached is asserted valid but not bit-compared — its
+  // gains legitimately differ from scratch in the last ulp (product
+  // division vs pin-order multiplication), which can flip tie-breaks.
+  const Hypergraph g = testing::small_random_circuit(43);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  PartitionResult by_engine[3];
+  int i = 0;
+  for (const auto engine :
+       {GainEngine::kScratch, GainEngine::kShadow, GainEngine::kCached}) {
+    PropConfig config = round_config(2);
+    config.gain_engine = engine;
+    PropPartitioner prop_algo(config);
+    by_engine[i] = prop_algo.run(g, balance, 5);
+    const ValidationReport report = validate_result(g, balance, by_engine[i]);
+    EXPECT_TRUE(report.ok) << to_string(engine) << ": " << report.message;
+    ++i;
+  }
+  EXPECT_EQ(by_engine[1].side, by_engine[0].side);  // shadow == scratch
+  EXPECT_EQ(by_engine[1].cut_cost, by_engine[0].cut_cost);
+}
+
+TEST(ParallelPass, SequentialEngineIsUntouchedByDefault) {
+  // pass_threads = 0 must keep producing exactly what the pre-round-engine
+  // sequential path produced: the default-config run and an explicit
+  // pass_threads = 0 run are the same object code path.
+  const Hypergraph g = testing::small_random_circuit(29);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  PropPartitioner defaulted;
+  PropPartitioner explicit_zero(round_config(0));
+  const PartitionResult a = defaulted.run(g, balance, 3);
+  const PartitionResult b = explicit_zero.run(g, balance, 3);
+  EXPECT_EQ(a.side, b.side);
+  EXPECT_EQ(a.cut_cost, b.cut_cost);
+}
+
+}  // namespace
+}  // namespace prop

@@ -1,0 +1,126 @@
+// The batched round-engine interface of ProbGainCalculator (DESIGN §4i):
+// stage_probability + rebuild_products must agree with the incremental
+// set_probability path, and apply_moves must agree with the sequential
+// lock + Partition::move + move_locked composition.
+#include "core/prob_gain.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "hypergraph/builder.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+/// Deterministic pseudo-probabilities in (0, 1), distinct per node.
+double probe_probability(NodeId u) {
+  return 0.05 + 0.9 * static_cast<double>((u * 37 + 11) % 1000) / 1000.0;
+}
+
+std::vector<std::uint8_t> alternating_sides(NodeId n) {
+  std::vector<std::uint8_t> sides(n);
+  for (NodeId u = 0; u < n; ++u) sides[u] = static_cast<std::uint8_t>(u % 2);
+  return sides;
+}
+
+TEST(ProbGainBatch, StageAndRebuildMatchesSetProbability) {
+  const Hypergraph g = testing::small_random_circuit(5, 120, 150, 500);
+  const Partition part(g, alternating_sides(g.num_nodes()));
+
+  ProbGainCalculator incremental(part);
+  ProbGainCalculator batched(part);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    incremental.set_probability(u, probe_probability(u));
+    batched.stage_probability(u, probe_probability(u));
+  }
+  batched.rebuild_products(0, g.num_nets());
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(batched.gain(u), incremental.gain(u), 1e-9) << "node " << u;
+    // Both must also match the scratch oracle exactly up to FP drift.
+    EXPECT_NEAR(batched.gain(u), batched.scratch_gain(u), 1e-9);
+  }
+}
+
+TEST(ProbGainBatch, PartitionedRebuildEqualsWholeRangeRebuild) {
+  // rebuild_products over disjoint subranges — the per-net partitioned
+  // reduction the parallel engine uses — must leave exactly the state a
+  // single whole-range rebuild leaves.
+  const Hypergraph g = testing::small_random_circuit(9, 80, 100, 340);
+  const Partition part(g, alternating_sides(g.num_nodes()));
+
+  ProbGainCalculator whole(part);
+  ProbGainCalculator pieces(part);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    whole.stage_probability(u, probe_probability(u));
+    pieces.stage_probability(u, probe_probability(u));
+  }
+  whole.rebuild_products(0, g.num_nets());
+  const NetId third = g.num_nets() / 3;
+  pieces.rebuild_products(0, third);
+  pieces.rebuild_products(third, 2 * third);
+  pieces.rebuild_products(2 * third, g.num_nets());
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(pieces.gain(u), whole.gain(u)) << "node " << u;
+  }
+}
+
+TEST(ProbGainBatch, ApplyMovesMatchesSequentialLockAndMove) {
+  const Hypergraph g = testing::small_random_circuit(13, 100, 130, 420);
+  Partition batched_part(g, alternating_sides(g.num_nodes()));
+  Partition sequential_part(g, alternating_sides(g.num_nodes()));
+
+  ProbGainCalculator batched(batched_part);
+  ProbGainCalculator sequential(sequential_part);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    batched.stage_probability(u, probe_probability(u));
+    sequential.set_probability(u, probe_probability(u));
+  }
+  batched.rebuild_products(0, g.num_nets());
+
+  const NodeId movers[] = {3, 17, 42, 60};
+  batched.apply_moves(batched_part, movers, 4);
+  batched.rebuild_products(0, g.num_nets());
+  for (const NodeId u : movers) {
+    const int from = sequential_part.side(u);
+    sequential.lock(u);
+    sequential_part.move(u);
+    sequential.move_locked(u, from);
+  }
+
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    ASSERT_EQ(batched_part.side(u), sequential_part.side(u)) << "node " << u;
+    EXPECT_EQ(batched.is_free(u), sequential.is_free(u)) << "node " << u;
+    if (batched.is_free(u)) {
+      EXPECT_NEAR(batched.gain(u), sequential.gain(u), 1e-9) << "node " << u;
+    } else {
+      EXPECT_EQ(batched.probability(u), 0.0);
+    }
+  }
+  EXPECT_EQ(batched_part.cut_cost(), sequential_part.cut_cost());
+}
+
+TEST(ProbGainBatch, ApplyMovesRejectsLockedMoverAndForeignPartition) {
+  const Hypergraph g = testing::chain_of_blocks(2, 4);
+  Partition part(g, alternating_sides(g.num_nodes()));
+  Partition other(g, alternating_sides(g.num_nodes()));
+  ProbGainCalculator calc(part);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    calc.stage_probability(u, 0.5);
+  }
+  calc.rebuild_products(0, g.num_nets());
+
+  const NodeId mover = 1;
+  EXPECT_THROW(calc.apply_moves(other, &mover, 1), std::logic_error);
+  calc.apply_moves(part, &mover, 1);
+  EXPECT_FALSE(calc.is_free(mover));
+  EXPECT_THROW(calc.apply_moves(part, &mover, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace prop

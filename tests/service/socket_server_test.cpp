@@ -1,0 +1,287 @@
+// Socket front end regression tests (DESIGN §4h): the three serving bugs —
+// read() errors mistaken for EOF (EINTR must retry), a final request line
+// without a trailing newline being dropped, and the response sink racing
+// the accept loop on the client fd — each get an in-process AF_UNIX
+// client that drives the real accept loop.
+#ifndef _WIN32
+
+#include "service/socket_server.h"
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace prop::service {
+namespace {
+
+// ---------------------------------------------------------------- LineFramer
+
+TEST(LineFramer, SplitsChunksIntoLines) {
+  LineFramer framer;
+  std::vector<std::string> lines;
+  const auto collect = [&lines](const std::string& line) {
+    lines.push_back(line);
+    return true;
+  };
+  // One request split across three chunks, then two requests in one chunk.
+  EXPECT_TRUE(framer.feed("{\"op\":", 6, collect));
+  EXPECT_TRUE(framer.feed("\"stats\"", 7, collect));
+  EXPECT_TRUE(framer.feed("}\na\nb\n", 6, collect));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"op\":\"stats\"}");
+  EXPECT_EQ(lines[1], "a");
+  EXPECT_EQ(lines[2], "b");
+  EXPECT_TRUE(framer.residual().empty());
+}
+
+TEST(LineFramer, FinishDeliversUnterminatedFinalLine) {
+  LineFramer framer;
+  std::vector<std::string> lines;
+  const auto collect = [&lines](const std::string& line) {
+    lines.push_back(line);
+    return true;
+  };
+  EXPECT_TRUE(framer.feed("first\nlast-no-newline", 21, collect));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(framer.residual(), "last-no-newline");
+  EXPECT_TRUE(framer.finish(collect));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "last-no-newline");
+  // finish() on an empty buffer delivers nothing and reports true.
+  EXPECT_TRUE(framer.finish(collect));
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(LineFramer, StopsEarlyAndKeepsLaterBytesBuffered) {
+  LineFramer framer;
+  int seen = 0;
+  const auto stop_after_first = [&seen](const std::string&) {
+    return ++seen < 1;  // false on the very first line
+  };
+  EXPECT_FALSE(framer.feed("shutdown\nnext\ntail", 18, stop_after_first));
+  EXPECT_EQ(seen, 1);
+  // The undelivered complete line and the partial tail stay buffered.
+  EXPECT_EQ(framer.residual(), "next\ntail");
+}
+
+// ------------------------------------------------------------- socket client
+
+/// Minimal blocking AF_UNIX client for driving the accept loop in-test.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    connected_ = fd_ >= 0 &&
+                 ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  bool send(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Half-close: signals EOF to the server while keeping the read side
+  /// open for responses.
+  void close_write() { ::shutdown(fd_, SHUT_WR); }
+
+  /// Blocking read of one '\n'-terminated response line (without the
+  /// newline); empty on EOF.
+  std::string read_line() {
+    std::string line;
+    char c;
+    for (;;) {
+      const ssize_t n = ::read(fd_, &c, 1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return line;
+      }
+      if (n == 0 || c == '\n') return line;
+      line.push_back(c);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+std::string temp_socket_path(const char* tag) {
+  return "/tmp/prop_sock_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+ServerConfig fast_config() {
+  ServerConfig config;
+  config.workers = 2;
+  return config;
+}
+
+/// Runs server.serve() on a background thread; join() after a client sent
+/// the shutdown request.
+struct ServeThread {
+  explicit ServeThread(SocketLineServer& server)
+      : thread([&server] { server.serve(); }) {}
+  ~ServeThread() {
+    if (thread.joinable()) thread.join();
+  }
+  std::thread thread;
+};
+
+// -------------------------------------------------------------- accept loop
+
+TEST(SocketServer, ServesSequentialConnectionsThenShutsDown) {
+  const std::string path = temp_socket_path("seq");
+  SocketLineServer server(fast_config(), path);
+  ASSERT_TRUE(server.listen());
+  ServeThread serving(server);
+
+  {
+    TestClient c1(path);
+    ASSERT_TRUE(c1.connected());
+    ASSERT_TRUE(c1.send("{\"op\":\"stats\"}\n"));
+    const std::string r = c1.read_line();
+    EXPECT_NE(r.find("\"lines\""), std::string::npos) << r;
+  }
+  {
+    TestClient c2(path);
+    ASSERT_TRUE(c2.connected());
+    ASSERT_TRUE(c2.send("{\"op\":\"submit\",\"id\":\"j1\",\"circuit\":\"balu\","
+                        "\"algo\":\"prop\",\"runs\":1,\"seed\":7}\n"));
+    const std::string r = c2.read_line();
+    EXPECT_NE(r.find("\"id\":\"j1\""), std::string::npos) << r;
+    EXPECT_NE(r.find("\"state\":\"done\""), std::string::npos) << r;
+    ASSERT_TRUE(c2.send("{\"op\":\"shutdown\"}\n"));
+  }
+  serving.thread.join();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.done, 1u);
+}
+
+TEST(SocketServer, FinalLineWithoutNewlineIsStillProcessed) {
+  // Regression: the old inline loop discarded a request whose line was not
+  // newline-terminated when the client half-closed right after sending it.
+  const std::string path = temp_socket_path("eof");
+  SocketLineServer server(fast_config(), path);
+  ASSERT_TRUE(server.listen());
+  ServeThread serving(server);
+
+  {
+    TestClient c(path);
+    ASSERT_TRUE(c.connected());
+    ASSERT_TRUE(c.send("{\"op\":\"submit\",\"id\":\"tail\",\"circuit\":\"balu\","
+                       "\"algo\":\"prop\",\"runs\":1,\"seed\":3}"));  // no \n
+    c.close_write();
+    const std::string r = c.read_line();
+    EXPECT_NE(r.find("\"id\":\"tail\""), std::string::npos) << r;
+    EXPECT_NE(r.find("\"state\":\"done\""), std::string::npos) << r;
+  }
+  TestClient stopper(path);
+  ASSERT_TRUE(stopper.connected());
+  ASSERT_TRUE(stopper.send("{\"op\":\"shutdown\"}"));
+  stopper.close_write();  // shutdown is also EOF-terminated
+  serving.thread.join();
+  EXPECT_EQ(server.stats().done, 1u);
+}
+
+TEST(SocketServer, MidJobHangupDoesNotKillTheServer) {
+  // Regression: the response sink used to write through a dangling client
+  // reference.  A client that submits and vanishes before its response is
+  // ready must not poison the next connection.
+  const std::string path = temp_socket_path("hup");
+  SocketLineServer server(fast_config(), path);
+  ASSERT_TRUE(server.listen());
+  ServeThread serving(server);
+
+  {
+    TestClient ghost(path);
+    ASSERT_TRUE(ghost.connected());
+    ASSERT_TRUE(ghost.send("{\"op\":\"submit\",\"id\":\"ghost\","
+                           "\"circuit\":\"balu\",\"algo\":\"prop\","
+                           "\"runs\":2,\"seed\":1}\n"));
+    // Destructor closes both directions with the job still in flight.
+  }
+  {
+    TestClient c(path);
+    ASSERT_TRUE(c.connected());
+    ASSERT_TRUE(c.send("{\"op\":\"submit\",\"id\":\"after\",\"circuit\":\"balu\","
+                       "\"algo\":\"prop\",\"runs\":1,\"seed\":2}\n"));
+    const std::string r = c.read_line();
+    EXPECT_NE(r.find("\"id\":\"after\""), std::string::npos) << r;
+    ASSERT_TRUE(c.send("{\"op\":\"shutdown\"}\n"));
+  }
+  serving.thread.join();
+  // Both jobs ran to completion; the ghost's response was dropped, not
+  // delivered to the wrong client and not fatal.
+  EXPECT_EQ(server.stats().submitted, 2u);
+  EXPECT_EQ(server.stats().done, 2u);
+}
+
+TEST(SocketServer, ReadRetriesAfterSignalInterruption) {
+  // Regression: read() returning -1 with errno == EINTR was treated as
+  // EOF, silently dropping the client mid-request.  Deliver a real signal
+  // (handler installed without SA_RESTART so read() genuinely returns
+  // EINTR) while the accept loop is blocked reading, then complete the
+  // request — the connection must survive.
+  struct sigaction action{};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: read() must see EINTR
+  struct sigaction previous{};
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  const std::string path = temp_socket_path("eintr");
+  SocketLineServer server(fast_config(), path);
+  ASSERT_TRUE(server.listen());
+  ServeThread serving(server);
+
+  TestClient c(path);
+  ASSERT_TRUE(c.connected());
+  // Half a request, so the server parks in read() with a partial line
+  // buffered, then a burst of signals, then the rest of the request.
+  ASSERT_TRUE(c.send("{\"op\":\"st"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < 3; ++i) {
+    pthread_kill(serving.thread.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(c.send("ats\"}\n"));
+  const std::string r = c.read_line();
+  EXPECT_NE(r.find("\"lines\""), std::string::npos) << r;
+  ASSERT_TRUE(c.send("{\"op\":\"shutdown\"}\n"));
+  serving.thread.join();
+
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+}
+
+}  // namespace
+}  // namespace prop::service
+
+#endif  // !_WIN32

@@ -37,7 +37,7 @@ namespace {
 constexpr const char* kUsage =
     "[--hgr FILE | --circuit NAME | --synth-nodes N] [--algo NAME]\n"
     "          [--runs N] [--balance 50-50|45-55] [--k K]\n"
-    "          [--gain-engine=cached|scratch|shadow]\n"
+    "          [--gain-engine=cached|scratch|shadow] [--pass-threads N]\n"
     "          [--multilevel] [--ml-refiner=prop|fm] [--coarsest-max-nodes N]\n"
     "          [--seed N] [--threads N] [--out FILE]\n"
     "          [--stats-json FILE] [--stats-timing=0|1] [--list]\n"
@@ -57,8 +57,9 @@ int main(int argc, char** argv) {
   if (!prop::check_flags(args,
                          {"hgr", "circuit", "algo", "runs", "balance", "k",
                           "seed", "out", "stats-json", "stats-timing", "list",
-                          "threads", "gain-engine", "multilevel", "ml-refiner",
-                          "coarsest-max-nodes", "synth-nodes"},
+                          "threads", "gain-engine", "pass-threads",
+                          "multilevel", "ml-refiner", "coarsest-max-nodes",
+                          "synth-nodes"},
                          kUsage)) {
     return 2;
   }
@@ -105,6 +106,14 @@ int main(int argc, char** argv) {
                  engine_name.c_str());
     return usage(argv[0]);
   }
+  // PROP intra-pass parallelism: 0 (default) = sequential move-by-move
+  // engine, N >= 1 = deterministic round engine on N threads — byte-identical
+  // output for every N >= 1 (DESIGN.md §4i).
+  const long long pass_threads = args.get_int_or("pass-threads", 0);
+  if (pass_threads < 0 || pass_threads > 256) {
+    std::fprintf(stderr, "error: --pass-threads must be in [0, 256]\n");
+    return usage(argv[0]);
+  }
   std::unique_ptr<prop::Bipartitioner> algo;
   if (args.has("multilevel")) {
     if (args.has("algo")) {
@@ -125,6 +134,7 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
     config.prop.gain_engine = *gain_engine;
+    config.prop.pass_threads = static_cast<int>(pass_threads);
     const long long coarsest = args.get_int_or("coarsest-max-nodes", 200);
     if (coarsest < 2) {
       std::fprintf(stderr, "error: --coarsest-max-nodes must be >= 2\n");
@@ -134,7 +144,8 @@ int main(int argc, char** argv) {
     algo = std::make_unique<prop::MultilevelPartitioner>(config);
   } else {
     const std::string algo_name = args.get_or("algo", "prop");
-    algo = prop::service::make_algo(algo_name, *gain_engine);
+    algo = prop::service::make_algo(algo_name, *gain_engine,
+                                    static_cast<int>(pass_threads));
     if (!algo) {
       std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
       return usage(argv[0]);

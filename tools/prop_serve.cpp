@@ -18,7 +18,10 @@
 //   prop_serve --inject='validate-fail~0.02,serve-exec~0.01' --workers 4
 //
 // Socket mode accepts one client at a time; the server drains between
-// connections so a response never lands on a later client's stream.
+// connections so a response never lands on a later client's stream.  A
+// final request line sent without a trailing newline before the client
+// closes its write side is still processed — EOF terminates the line
+// (service/socket_server.h documents the framing).
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -27,10 +30,7 @@
 #include "service/server.h"
 
 #ifndef _WIN32
-#include <csignal>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
+#include "service/socket_server.h"
 #endif
 
 namespace {
@@ -96,8 +96,7 @@ bool config_from_args(const prop::CliArgs& args,
   return true;
 }
 
-void print_summary(const prop::service::Server& server) {
-  const prop::service::ServerStats s = server.stats();
+void print_summary(const prop::service::ServerStats& s) {
   std::fprintf(stderr,
                "prop_serve: %llu lines, %llu submitted, %llu done, %llu "
                "failed, %llu shed, %llu invalid, %llu retries, max queue "
@@ -124,91 +123,23 @@ int serve_stdio(const prop::service::ServerConfig& config) {
     if (!server.handle_line(line)) break;
   }
   server.drain();
-  print_summary(server);
+  print_summary(server.stats());
   return 0;
 }
 
 #ifndef _WIN32
 
-bool write_all(int fd, const char* data, std::size_t size) {
-  while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n <= 0) return false;  // client gone; responses are dropped, not fatal
-    data += n;
-    size -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 /// Unix-socket mode: one client at a time, draining between connections so
-/// a slow job's response can never land on the next client's stream.
+/// a slow job's response can never land on the next client's stream.  The
+/// EINTR-safe read loop, EOF line framing and race-free response fd all
+/// live in service/socket_server.{h,cpp} where they are unit-tested.
 int serve_socket(const prop::service::ServerConfig& config,
                  const std::string& path) {
-  ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the server
-
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("prop_serve: socket");
-    return 1;
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "error: socket path too long\n");
-    ::close(listener);
-    return 1;
-  }
-  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
-  ::unlink(path.c_str());
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listener, 4) != 0) {
-    std::perror("prop_serve: bind/listen");
-    ::close(listener);
-    return 1;
-  }
-
-  int client = -1;
-  prop::service::Server server(config, [&client](const std::string& line) {
-    if (client < 0) return;
-    if (!write_all(client, line.data(), line.size()) ||
-        !write_all(client, "\n", 1)) {
-      // Client hung up mid-response; keep serving (exactly-once is about
-      // emission, a dead peer forfeits delivery).
-    }
-  });
-
+  prop::service::SocketLineServer server(config, path);
+  if (!server.listen()) return 1;
   std::fprintf(stderr, "prop_serve: listening on %s\n", path.c_str());
-  bool running = true;
-  while (running) {
-    client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) break;
-    std::string buffer;
-    char chunk[4096];
-    for (;;) {
-      const ssize_t n = ::read(client, chunk, sizeof(chunk));
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t start = 0;
-      for (std::size_t nl = buffer.find('\n', start);
-           nl != std::string::npos; nl = buffer.find('\n', start)) {
-        const std::string line = buffer.substr(start, nl - start);
-        start = nl + 1;
-        if (!server.handle_line(line)) {
-          running = false;
-          break;
-        }
-      }
-      buffer.erase(0, start);
-      if (!running) break;
-    }
-    server.drain();  // all of this client's responses out before it goes away
-    ::close(client);
-    client = -1;
-  }
-  ::close(listener);
-  ::unlink(path.c_str());
-  print_summary(server);
+  server.serve();
+  print_summary(server.stats());
   return 0;
 }
 
