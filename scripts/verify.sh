@@ -38,6 +38,15 @@ echo "== parallel-pass determinism + perf gate (release) =="
 ./build/bench/parallel_pass --fast --baseline BENCH_parallel_pass.json \
   --out build/BENCH_parallel_pass.json > /dev/null
 
+# K-way pipeline gate: rb / rb+greedy / rb+k-way-PROP on the fast subset
+# against the committed BENCH_kway.json.  In-binary asserts: every run's
+# claimed cost is revalidated exactly (exit 6) and the full pipeline must
+# match-or-beat its own greedy prefix on best connectivity at k > 2
+# (exit 5); same >25% wall-regression policy (exit 4).
+echo "== k-way quality + perf gate (release) =="
+./build/bench/kway --fast --baseline BENCH_kway.json --assert-quality \
+  --out build/BENCH_kway.json > /dev/null
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer pass (--fast) =="
   exit 0
@@ -71,6 +80,16 @@ echo "== multilevel smoke (asan+ubsan) =="
 ./build-asan/tools/prop_cli --circuit s15850 --multilevel \
   --ml-refiner=fm --runs 1 > /dev/null
 
+# K-way smoke under ASan: the flat pipeline (recursive bisection + greedy +
+# native k-way PROP with its per-(net,part) product cache) and the k-way
+# V-cycle — the cache epochs, rollback path and projection indices are the
+# new stale-state surface.
+echo "== k-way smoke (asan+ubsan) =="
+./build-asan/tools/prop_cli --circuit p1 --algo prop --k 4 --runs 1 \
+  > /dev/null
+./build-asan/tools/prop_cli --circuit p1 --k 8 --multilevel --runs 1 \
+  > /dev/null
+
 # Service chaos soak under ASan+UBSan: a short fault-injected soak that
 # drives the admission queue past its limit.  The binary itself is the gate —
 # it exits nonzero on any lost or duplicated response, any shed without a
@@ -95,7 +114,7 @@ echo "== tsan build + concurrency suites =="
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs"
 ctest --preset tsan -j "$jobs" \
-  -R 'ParallelRunner|ParallelPass|ParallelFor|SplitIndexRange|ProbGainBatch|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector|EngineEquivalence|ProbGainProperty|JobStore|Admission|Server'
+  -R 'ParallelRunner|ParallelPass|ParallelFor|SplitIndexRange|ProbGainBatch|ThreadPool|Runner|RuntimeRobustness|Deadline|CancelToken|FaultInjector|EngineEquivalence|ProbGainProperty|JobStore|Admission|Server|KWay'
 
 echo "== tsan service smoke =="
 ./build-tsan/bench/service_throughput --fast --jobs 40 --queue-limit 6 \
@@ -110,5 +129,9 @@ echo "== tsan parallel smoke =="
 # per-net product rebuild) under TSan — the data-race surface of DESIGN §4i.
 ./build-tsan/tools/prop_cli --circuit balu --algo prop --runs 2 \
   --pass-threads 4 > /dev/null
+# K-way jobs across the parallel runner: each worker clones the whole
+# KWayPartitioner pipeline, so this exercises clone isolation under TSan.
+./build-tsan/tools/prop_cli --circuit t4 --algo prop --k 4 --runs 4 \
+  --threads 2 > /dev/null
 
 echo "== verify OK =="

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "partition/kway_balance.h"
 #include "util/rng.h"
 
 namespace prop {
@@ -14,21 +15,10 @@ KWayRefineOutcome kway_refine(const Hypergraph& g, std::vector<NodeId>& part,
   KWayState state(g, part, k);
   Rng rng(seed);
 
-  const double share = 1.0 / static_cast<double>(k);
-  const auto total = static_cast<double>(g.total_node_size());
-  std::int64_t lo = static_cast<std::int64_t>(
-      total * share * (1.0 - config.tolerance));
-  std::int64_t hi = static_cast<std::int64_t>(
-      total * share * (1.0 + config.tolerance) + 0.999);
-  // Degenerate windows (tiny parts) get widened to one max node size.
-  std::int64_t max_node = 1;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    max_node = std::max<std::int64_t>(max_node, g.node_size(u));
-  }
-  if (hi - lo < 2 * max_node) {
-    lo = std::max<std::int64_t>(0, lo - max_node);
-    hi += max_node;
-  }
+  const KWayBalanceWindow window = kway_part_window(
+      g.total_node_size(), k, config.tolerance, kway_max_node_size(g));
+  const std::int64_t lo = window.lo;
+  const std::int64_t hi = window.hi;
 
   KWayRefineOutcome out;
   std::vector<NodeId> order(g.num_nodes());

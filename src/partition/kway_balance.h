@@ -1,0 +1,73 @@
+// Shared k-way balance arithmetic.
+//
+// Three layers reason about "proportional share +- tolerance": recursive
+// bisection turns the share of each split into (r1, r2) balance fractions,
+// the greedy k-way refiner bounds every part by a size window, and the
+// k-way PROP refiner enforces the same window per move.  Before this header
+// each computed the window independently, so a rounding difference between
+// layers could make one layer's output infeasible for the next.  Every
+// feasibility decision now routes through these helpers — the arithmetic is
+// written to be bit-identical to what the original call sites computed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "hypergraph/hypergraph.h"
+
+namespace prop {
+
+/// Per-part size window [lo, hi] on the total node size of one part.
+struct KWayBalanceWindow {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  bool contains(std::int64_t size) const noexcept {
+    return size >= lo && size <= hi;
+  }
+};
+
+/// (r1, r2) balance fractions of one recursive-bisection split whose left
+/// side targets `share` of the nodes.  Clamped away from 0/1 so the
+/// BalanceConstraint stays satisfiable on tiny subgraphs.
+struct KWaySplitFractions {
+  double r1 = 0.0;
+  double r2 = 0.0;
+};
+
+inline KWaySplitFractions kway_split_fractions(double share,
+                                               double tolerance) noexcept {
+  return {std::max(0.01, share * (1.0 - tolerance)),
+          std::min(0.99, share * (1.0 + tolerance))};
+}
+
+/// Largest node size in `g`, floored at 1 — the widening unit for windows
+/// that are too narrow for any single move.
+inline std::int64_t kway_max_node_size(const Hypergraph& g) noexcept {
+  std::int64_t max_node = 1;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    max_node = std::max<std::int64_t>(max_node, g.node_size(u));
+  }
+  return max_node;
+}
+
+/// Size window of one of k equal parts: proportional share (total / k)
+/// +- tolerance, with the upper bound rounded up.  Degenerate windows
+/// (narrower than two max-size nodes, so a move could never cross them)
+/// are widened by one max node size on both ends.
+inline KWayBalanceWindow kway_part_window(std::int64_t total_size, NodeId k,
+                                          double tolerance,
+                                          std::int64_t max_node) noexcept {
+  const double share = 1.0 / static_cast<double>(k);
+  const auto total = static_cast<double>(total_size);
+  KWayBalanceWindow w;
+  w.lo = static_cast<std::int64_t>(total * share * (1.0 - tolerance));
+  w.hi = static_cast<std::int64_t>(total * share * (1.0 + tolerance) + 0.999);
+  if (w.hi - w.lo < 2 * max_node) {
+    w.lo = std::max<std::int64_t>(0, w.lo - max_node);
+    w.hi += max_node;
+  }
+  return w;
+}
+
+}  // namespace prop

@@ -1,0 +1,13 @@
+#include "partition/partitioner.h"
+
+#include "partition/validate.h"
+
+namespace prop {
+
+ValidationReport Bipartitioner::validate(const Hypergraph& g,
+                                         const BalanceConstraint& balance,
+                                         const PartitionResult& result) const {
+  return validate_result(g, balance, result);
+}
+
+}  // namespace prop

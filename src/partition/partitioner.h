@@ -16,6 +16,13 @@ namespace prop {
 struct RefineTelemetry;  // telemetry/telemetry.h
 struct RunContext;       // runtime/run_context.h
 
+/// Result of checking a PartitionResult against the invariants its
+/// producer promises (see Bipartitioner::validate).
+struct ValidationReport {
+  bool ok = true;
+  std::string message;  ///< first violation found, empty when ok
+};
+
 /// Outcome of an in-place refinement (fm_refine, la_refine, prop_refine).
 struct RefineOutcome {
   double cut_cost = 0.0;
@@ -71,6 +78,16 @@ class Bipartitioner {
     (void)context;
     return false;
   }
+
+  /// Checks `result` against the invariants this partitioner's run()
+  /// promises.  The default asserts the 2-way contract (side values in
+  /// {0,1}, balance.feasible on side 0, cut recomputation matches);
+  /// k-way adapters override because their `side` vector carries part ids
+  /// in [0, k) and their cost is the configured k-way objective.  The
+  /// checked runner routes every post-run validation through this hook.
+  virtual ValidationReport validate(const Hypergraph& g,
+                                    const BalanceConstraint& balance,
+                                    const PartitionResult& result) const;
 };
 
 }  // namespace prop

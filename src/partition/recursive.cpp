@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hypergraph/builder.h"
+#include "partition/kway_balance.h"
 #include "util/rng.h"
 
 namespace prop {
@@ -75,9 +76,9 @@ void split(Bipartitioner& partitioner, const Hypergraph& g,
 
   const Hypergraph sub = induce_subgraph(g, nodes);
   const double share = static_cast<double>(k0) / static_cast<double>(k);
-  const double r1 = std::max(0.01, share * (1.0 - options.tolerance));
-  const double r2 = std::min(0.99, share * (1.0 + options.tolerance));
-  const BalanceConstraint balance = BalanceConstraint::fraction(sub, r1, r2);
+  const KWaySplitFractions frac = kway_split_fractions(share, options.tolerance);
+  const BalanceConstraint balance =
+      BalanceConstraint::fraction(sub, frac.r1, frac.r2);
 
   const PartitionResult result =
       partitioner.run(sub, balance, mix_seed(seed, k, first_part));

@@ -393,7 +393,7 @@ RunOutcome run_checked(Bipartitioner& partitioner, const Hypergraph& g,
       out.status = Status::failure(StatusCode::kInjectedFault,
                                    "injected validation failure");
     } else {
-      const ValidationReport report = validate_result(g, balance, result);
+      const ValidationReport report = partitioner.validate(g, balance, result);
       if (!report.ok) {
         out.status = Status::failure(
             StatusCode::kInvalidResult,

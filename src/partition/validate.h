@@ -10,10 +10,8 @@
 
 namespace prop {
 
-struct ValidationReport {
-  bool ok = true;
-  std::string message;  ///< first violation found, empty when ok
-};
+// ValidationReport lives in partition/partitioner.h (Bipartitioner::validate
+// returns it); this header keeps the free-function checker.
 
 /// Checks that `result` is a well-formed, balanced partition of `g` and
 /// that its claimed cut cost matches a from-scratch recomputation.

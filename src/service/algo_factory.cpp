@@ -17,6 +17,19 @@ std::optional<GainEngine> parse_gain_engine(const std::string& name) {
   return std::nullopt;
 }
 
+std::optional<KWayRefinerKind> parse_kway_refiner(const std::string& name) {
+  if (name == "prop") return KWayRefinerKind::kProp;
+  if (name == "greedy") return KWayRefinerKind::kGreedy;
+  if (name == "none") return KWayRefinerKind::kNone;
+  return std::nullopt;
+}
+
+std::optional<KWayObjective> parse_kway_objective(const std::string& name) {
+  if (name == "cut") return KWayObjective::kCut;
+  if (name == "connectivity") return KWayObjective::kConnectivity;
+  return std::nullopt;
+}
+
 std::unique_ptr<Bipartitioner> make_algo(const std::string& name,
                                          GainEngine gain_engine,
                                          int pass_threads) {
@@ -44,6 +57,23 @@ const std::string& algo_names() {
   static const std::string names =
       "fm fm-tree la2 la3 kl prop eig1 melo paraboli window";
   return names;
+}
+
+std::unique_ptr<Bipartitioner> make_kway_algo(const std::string& base,
+                                              NodeId k,
+                                              KWayRefinerKind refiner,
+                                              KWayObjective objective,
+                                              GainEngine gain_engine,
+                                              int pass_threads) {
+  std::unique_ptr<Bipartitioner> bisector =
+      make_algo(base, gain_engine, pass_threads);
+  if (!bisector) return nullptr;
+  KWayPipelineConfig config;
+  config.k = k;
+  config.refiner = refiner;
+  config.objective = objective;
+  config.prop.gain_engine = gain_engine;
+  return std::make_unique<KWayPartitioner>(std::move(bisector), config);
 }
 
 }  // namespace prop::service

@@ -58,6 +58,18 @@ Status validate_spec(const JobSpec& spec, const HgrLimits& limits) {
                            "unknown algorithm '" + spec.algo + "' (" +
                                algo_names() + ")");
   }
+  // k is range-checked by the wire parser; the refiner/objective names are
+  // free strings there, so reject unknowns at admission rather than at exec.
+  if (!parse_kway_refiner(spec.kway_refiner)) {
+    return Status::failure(StatusCode::kInvalidRequest,
+                           "unknown kway_refiner '" + spec.kway_refiner +
+                               "' (prop|greedy|none)");
+  }
+  if (!parse_kway_objective(spec.kway_objective)) {
+    return Status::failure(StatusCode::kInvalidRequest,
+                           "unknown kway_objective '" + spec.kway_objective +
+                               "' (cut|connectivity)");
+  }
   return Status::success();
 }
 
@@ -367,8 +379,16 @@ void Server::run_job(const JobSpec& spec) {
     return;
   }
 
+  // k = 2 keeps the classic bisection path byte-for-byte; k > 2 wraps the
+  // same base algorithm in the recursive-bisection + k-way-refiner pipeline
+  // (refiner/objective names were validated at admission).
   const auto algo =
-      make_algo(spec.algo, GainEngine::kCached, spec.pass_threads);
+      spec.k > 2
+          ? make_kway_algo(spec.algo, static_cast<NodeId>(spec.k),
+                           *parse_kway_refiner(spec.kway_refiner),
+                           *parse_kway_objective(spec.kway_objective),
+                           GainEngine::kCached, spec.pass_threads)
+          : make_algo(spec.algo, GainEngine::kCached, spec.pass_threads);
   const BalanceConstraint balance = spec.balance == "50-50"
                                         ? BalanceConstraint::fifty_fifty(g)
                                         : BalanceConstraint::forty_five(g);

@@ -122,7 +122,12 @@ std::optional<std::vector<DegradationEvent>> degradations_from_json(
 std::string encode_side(const std::vector<std::uint8_t>& side) {
   std::string out;
   out.reserve(side.size());
-  for (const std::uint8_t s : side) out += s ? '1' : '0';
+  for (const std::uint8_t s : side) {
+    // Base 36: part ids 0-9 as digits, 10-35 as 'a'-'z'.  2-way vectors
+    // stay pure 0/1 strings, byte-identical to the old encoding.
+    out += s < 10 ? static_cast<char>('0' + s)
+                  : static_cast<char>('a' + (s - 10));
+  }
   return out;
 }
 
@@ -130,8 +135,13 @@ std::optional<std::vector<std::uint8_t>> decode_side(const std::string& s) {
   std::vector<std::uint8_t> out;
   out.reserve(s.size());
   for (const char c : s) {
-    if (c != '0' && c != '1') return std::nullopt;
-    out.push_back(c == '1' ? 1 : 0);
+    if (c >= '0' && c <= '9') {
+      out.push_back(static_cast<std::uint8_t>(c - '0'));
+    } else if (c >= 'a' && c <= 'z') {
+      out.push_back(static_cast<std::uint8_t>(c - 'a' + 10));
+    } else {
+      return std::nullopt;
+    }
   }
   return out;
 }
@@ -232,7 +242,8 @@ std::optional<JobSpec> job_spec_from_json(const JsonValue& v,
       "op",       "id",          "tenant",     "priority",
       "algo",     "circuit",     "hgr",        "runs",
       "seed",     "balance",     "deadline_ms", "max_retries",
-      "stats_timing", "return_partition", "pass_threads"};
+      "stats_timing", "return_partition", "pass_threads",
+      "k",        "kway_refiner", "kway_objective"};
   for (const JsonValue::Member& m : v.members()) {
     bool known = false;
     for (const char* k : kKnown) {
@@ -370,6 +381,32 @@ std::optional<JobSpec> job_spec_from_json(const JsonValue& v,
   } else if (!ok) {
     return std::nullopt;
   }
+  if (const JsonValue* k =
+          expect(v, "k", JsonValue::Type::kNumber, false, error, &ok)) {
+    const std::int64_t parts = k->as_int64();
+    if (parts < 2 || parts > 36) {
+      // 36 parts is what one base-36 character of encode_side can carry.
+      set_error(error, "field 'k' must be in [2, 36]");
+      return std::nullopt;
+    }
+    spec.k = static_cast<int>(parts);
+  } else if (!ok) {
+    return std::nullopt;
+  }
+  if (const JsonValue* refiner = expect(v, "kway_refiner",
+                                        JsonValue::Type::kString, false, error,
+                                        &ok)) {
+    spec.kway_refiner = refiner->as_string();
+  } else if (!ok) {
+    return std::nullopt;
+  }
+  if (const JsonValue* objective = expect(v, "kway_objective",
+                                          JsonValue::Type::kString, false,
+                                          error, &ok)) {
+    spec.kway_objective = objective->as_string();
+  } else if (!ok) {
+    return std::nullopt;
+  }
   return spec;
 }
 
@@ -391,6 +428,9 @@ JsonValue job_spec_to_json(const JobSpec& spec) {
   out.set("return_partition", JsonValue::boolean(spec.return_partition));
   out.set("pass_threads",
           JsonValue::number(static_cast<std::int64_t>(spec.pass_threads)));
+  out.set("k", JsonValue::number(static_cast<std::int64_t>(spec.k)));
+  out.set("kway_refiner", JsonValue::string(spec.kway_refiner));
+  out.set("kway_objective", JsonValue::string(spec.kway_objective));
   return out;
 }
 

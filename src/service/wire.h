@@ -41,7 +41,10 @@ std::optional<std::vector<DegradationEvent>> degradations_from_json(
 
 // --- RunOutcome ---------------------------------------------------------------
 
-/// Compact 0/1-character encoding of a partition side vector.
+/// Compact one-character-per-node encoding of a partition side / part-id
+/// vector: values 0-9 as digits, 10-35 as 'a'-'z' (base 36, k <= 36 on the
+/// wire).  2-way partitions still encode as pure 0/1 strings, so existing
+/// clients see unchanged bytes.
 std::string encode_side(const std::vector<std::uint8_t>& side);
 std::optional<std::vector<std::uint8_t>> decode_side(const std::string& s);
 
@@ -82,6 +85,16 @@ struct JobSpec {
   /// the two engines produce different (each deterministic) results; any
   /// N >= 1 yields identical bytes, so results stay a function of the spec.
   int pass_threads = 0;
+  /// Number of parts.  2 = classic bisection through `algo` directly;
+  /// 3-36 = recursive bisection with `algo` plus the k-way refiner below
+  /// (36 caps what encode_side can carry per character).
+  int k = 2;
+  /// K-way post-pass when k > 2: "prop" (native k-way PROP), "greedy", or
+  /// "none" (recursive bisection only).  Ignored for k = 2.
+  std::string kway_refiner = "prop";
+  /// K-way objective when k > 2: "connectivity" (sum c(n)*(lambda-1)) or
+  /// "cut" (nets spanning >= 2 parts).  Ignored for k = 2.
+  std::string kway_objective = "connectivity";
 };
 
 /// Parses a submit-request object.  Unknown fields are rejected (the flag

@@ -102,8 +102,23 @@ TEST(WireRoundTrip, SideEncoding) {
   const auto decoded = decode_side("01101");
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, side);
-  EXPECT_FALSE(decode_side("01x01").has_value());
+  // 'x' became a valid part id (33) with the base-36 extension; '!' and
+  // uppercase stay invalid.
+  EXPECT_FALSE(decode_side("01!01").has_value());
+  EXPECT_FALSE(decode_side("01X01").has_value());
   EXPECT_TRUE(decode_side("")->empty());
+}
+
+TEST(WireRoundTrip, SideEncodingKWay) {
+  // Part ids beyond 1 use base 36 ('a' = 10 ... 'z' = 35); 2-way vectors
+  // stay pure 0/1 strings so recorded logs keep their exact bytes.
+  const std::vector<std::uint8_t> part = {0, 1, 9, 10, 35};
+  EXPECT_EQ(encode_side(part), "019az");
+  const auto decoded = decode_side("019az");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, part);
+  EXPECT_FALSE(decode_side("AZ").has_value());  // uppercase is not valid
+  EXPECT_FALSE(decode_side("3-1").has_value());
 }
 
 TEST(WireRoundTrip, RunOutcome) {
@@ -156,6 +171,9 @@ TEST(WireRoundTrip, JobSpec) {
   spec.max_retries = 1;
   spec.stats_timing = false;
   spec.return_partition = true;
+  spec.k = 8;
+  spec.kway_refiner = "greedy";
+  spec.kway_objective = "cut";
 
   const JsonValue encoded = job_spec_to_json(spec);
   expect_stable(encoded, "job spec");
@@ -175,6 +193,9 @@ TEST(WireRoundTrip, JobSpec) {
   EXPECT_EQ(decoded->max_retries, spec.max_retries);
   EXPECT_FALSE(decoded->stats_timing);
   EXPECT_TRUE(decoded->return_partition);
+  EXPECT_EQ(decoded->k, 8);
+  EXPECT_EQ(decoded->kway_refiner, "greedy");
+  EXPECT_EQ(decoded->kway_objective, "cut");
   EXPECT_EQ(job_spec_to_json(*decoded).dump(), encoded.dump());
 }
 
@@ -192,6 +213,9 @@ TEST(WireRoundTrip, JobSpecRejectsBadInput) {
       {"{\"id\":\"a\",\"deadline_ms\":-1}", "deadline_ms"},
       {"{\"id\":\"a\",\"max_retries\":101}", "max_retries"},
       {"{\"id\":\"a\",\"tenant\":\"\"}", "tenant"},
+      {"{\"id\":\"a\",\"k\":1}", "k"},                       // below 2-way
+      {"{\"id\":\"a\",\"k\":37}", "k"},                      // > base-36 cap
+      {"{\"id\":\"a\",\"kway_refiner\":7}", "kway_refiner"}, // wrong type
       {"[]", "object"},
   };
   for (const auto& c : corpus) {
@@ -220,6 +244,9 @@ TEST(WireRoundTrip, JobSpecDefaults) {
   EXPECT_EQ(spec->max_retries, -1);
   EXPECT_TRUE(spec->stats_timing);
   EXPECT_FALSE(spec->return_partition);
+  EXPECT_EQ(spec->k, 2);
+  EXPECT_EQ(spec->kway_refiner, "prop");
+  EXPECT_EQ(spec->kway_objective, "connectivity");
 }
 
 /// The deepest round-trip: an actual write_stats_json document from a real

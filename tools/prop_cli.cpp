@@ -3,7 +3,7 @@
 //   prop_cli --hgr netlist.hgr --algo prop --runs 20 --balance 45-55 \
 //            --seed 1 --out parts.txt
 //   prop_cli --circuit industry2 --algo fm --runs 100
-//   prop_cli --circuit p2 --algo prop --k 8            # recursive k-way
+//   prop_cli --circuit p2 --algo prop --k 8            # k-way (RB + refiner)
 //   prop_cli --circuit balu --algo prop --stats-json stats.json
 //   prop_cli --list                                    # bundled circuits
 //
@@ -25,8 +25,8 @@
 #include "hypergraph/mcnc_suite.h"
 #include "hypergraph/stats.h"
 #include "multilevel/multilevel_driver.h"
+#include "multilevel/multilevel_kway.h"
 #include "partition/metrics.h"
-#include "partition/recursive.h"
 #include "partition/runner.h"
 #include "runtime/runtime_cli.h"
 #include "service/algo_factory.h"
@@ -37,6 +37,8 @@ namespace {
 constexpr const char* kUsage =
     "[--hgr FILE | --circuit NAME | --synth-nodes N] [--algo NAME]\n"
     "          [--runs N] [--balance 50-50|45-55] [--k K]\n"
+    "          [--kway-refiner=prop|greedy|none]\n"
+    "          [--kway-objective=cut|connectivity]\n"
     "          [--gain-engine=cached|scratch|shadow] [--pass-threads N]\n"
     "          [--multilevel] [--ml-refiner=prop|fm] [--coarsest-max-nodes N]\n"
     "          [--seed N] [--threads N] [--out FILE]\n"
@@ -56,10 +58,10 @@ int main(int argc, char** argv) {
 
   if (!prop::check_flags(args,
                          {"hgr", "circuit", "algo", "runs", "balance", "k",
-                          "seed", "out", "stats-json", "stats-timing", "list",
-                          "threads", "gain-engine", "pass-threads",
-                          "multilevel", "ml-refiner", "coarsest-max-nodes",
-                          "synth-nodes"},
+                          "kway-refiner", "kway-objective", "seed", "out",
+                          "stats-json", "stats-timing", "list", "threads",
+                          "gain-engine", "pass-threads", "multilevel",
+                          "ml-refiner", "coarsest-max-nodes", "synth-nodes"},
                          kUsage)) {
     return 2;
   }
@@ -114,6 +116,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --pass-threads must be in [0, 256]\n");
     return usage(argv[0]);
   }
+  const long long k_arg = args.get_int_or("k", 2);
+  if (k_arg < 2 || k_arg > 256) {
+    std::fprintf(stderr, "error: --k must be in [2, 256]\n");
+    return usage(argv[0]);
+  }
+  const auto k = static_cast<prop::NodeId>(k_arg);
+  const std::string kway_refiner_name = args.get_or("kway-refiner", "prop");
+  const auto kway_refiner =
+      prop::service::parse_kway_refiner(kway_refiner_name);
+  if (!kway_refiner) {
+    std::fprintf(stderr, "unknown --kway-refiner '%s' (prop|greedy|none)\n",
+                 kway_refiner_name.c_str());
+    return usage(argv[0]);
+  }
+  const std::string kway_objective_name =
+      args.get_or("kway-objective", "connectivity");
+  const auto kway_objective =
+      prop::service::parse_kway_objective(kway_objective_name);
+  if (!kway_objective) {
+    std::fprintf(stderr, "unknown --kway-objective '%s' (cut|connectivity)\n",
+                 kway_objective_name.c_str());
+    return usage(argv[0]);
+  }
   std::unique_ptr<prop::Bipartitioner> algo;
   if (args.has("multilevel")) {
     if (args.has("algo")) {
@@ -122,30 +147,51 @@ int main(int argc, char** argv) {
                    "and pick the refiner with --ml-refiner=prop|fm\n");
       return usage(argv[0]);
     }
-    prop::MultilevelConfig config;
-    const std::string refiner = args.get_or("ml-refiner", "prop");
-    if (refiner == "prop") {
-      config.refiner = prop::MlRefiner::kProp;
-    } else if (refiner == "fm") {
-      config.refiner = prop::MlRefiner::kFm;
-    } else {
-      std::fprintf(stderr, "unknown --ml-refiner '%s' (prop|fm)\n",
-                   refiner.c_str());
-      return usage(argv[0]);
-    }
-    config.prop.gain_engine = *gain_engine;
-    config.prop.pass_threads = static_cast<int>(pass_threads);
     const long long coarsest = args.get_int_or("coarsest-max-nodes", 200);
     if (coarsest < 2) {
       std::fprintf(stderr, "error: --coarsest-max-nodes must be >= 2\n");
       return usage(argv[0]);
     }
-    config.coarsest_max_nodes = static_cast<prop::NodeId>(coarsest);
-    algo = std::make_unique<prop::MultilevelPartitioner>(config);
+    if (k > 2) {
+      // K-way multilevel: FM bisection at the coarsest level plus the k-way
+      // refiner during uncoarsening; the refiner comes from --kway-refiner.
+      if (args.has("ml-refiner")) {
+        std::fprintf(stderr,
+                     "error: k-way multilevel picks the refiner with "
+                     "--kway-refiner; drop --ml-refiner\n");
+        return usage(argv[0]);
+      }
+      prop::MultilevelKWayConfig config;
+      config.k = k;
+      config.objective = *kway_objective;
+      config.refiner = *kway_refiner;
+      config.prop.gain_engine = *gain_engine;
+      config.coarsest_max_nodes = static_cast<prop::NodeId>(coarsest);
+      algo = std::make_unique<prop::MultilevelKWayPartitioner>(config);
+    } else {
+      prop::MultilevelConfig config;
+      const std::string refiner = args.get_or("ml-refiner", "prop");
+      if (refiner == "prop") {
+        config.refiner = prop::MlRefiner::kProp;
+      } else if (refiner == "fm") {
+        config.refiner = prop::MlRefiner::kFm;
+      } else {
+        std::fprintf(stderr, "unknown --ml-refiner '%s' (prop|fm)\n",
+                     refiner.c_str());
+        return usage(argv[0]);
+      }
+      config.prop.gain_engine = *gain_engine;
+      config.prop.pass_threads = static_cast<int>(pass_threads);
+      config.coarsest_max_nodes = static_cast<prop::NodeId>(coarsest);
+      algo = std::make_unique<prop::MultilevelPartitioner>(config);
+    }
   } else {
     const std::string algo_name = args.get_or("algo", "prop");
-    algo = prop::service::make_algo(algo_name, *gain_engine,
-                                    static_cast<int>(pass_threads));
+    algo = k > 2 ? prop::service::make_kway_algo(
+                       algo_name, k, *kway_refiner, *kway_objective,
+                       *gain_engine, static_cast<int>(pass_threads))
+                 : prop::service::make_algo(algo_name, *gain_engine,
+                                            static_cast<int>(pass_threads));
     if (!algo) {
       std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
       return usage(argv[0]);
@@ -154,7 +200,6 @@ int main(int argc, char** argv) {
 
   const auto seed = static_cast<std::uint64_t>(args.get_int_or("seed", 1));
   const int runs = static_cast<int>(args.get_int_or("runs", 20));
-  const auto k = static_cast<prop::NodeId>(args.get_int_or("k", 2));
   const auto parsed_threads = prop::parse_thread_count(args);
   if (!parsed_threads) return usage(argv[0]);
   const int threads = *parsed_threads;
@@ -170,18 +215,6 @@ int main(int argc, char** argv) {
   std::printf("%s\n", prop::describe(g).c_str());
 
   try {
-    if (k > 2) {
-      if (session->context()) algo->attach_context(session->context());
-      const prop::KWayResult r = prop::recursive_bisection(*algo, g, k, seed);
-      std::printf("%s %u-way: cut = %.0f\n", algo->name().c_str(), k, r.cut_cost);
-      if (const auto out = args.get("out")) {
-        std::ofstream f(*out);
-        for (const auto part : r.part) f << part << '\n';
-        std::printf("wrote %s\n", out->c_str());
-      }
-      return 0;
-    }
-
     const prop::BalanceConstraint balance =
         args.get_or("balance", "45-55") == "50-50"
             ? prop::BalanceConstraint::fifty_fifty(g)
@@ -194,8 +227,6 @@ int main(int argc, char** argv) {
     const prop::MultiRunResult r =
         prop::run_many(*algo, g, balance, runs, seed, options);
 
-    const prop::Partition part(g, r.best.side);
-    const prop::PartitionMetrics m = prop::compute_metrics(part);
     std::printf(
         "%s x%d: best cut = %.0f  mean = %.1f  (%.4f cpu s/run, %.4f s wall",
         algo->name().c_str(), r.runs_attempted(), r.best_cut(), r.mean_cut(),
@@ -212,9 +243,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warning: %d of %d runs failed (see --stats-json)\n",
                    failed, r.runs_attempted());
     }
-    std::printf("sizes %lld | %lld   ratio-cut %.3g   absorption %.1f\n",
-                static_cast<long long>(m.size0), static_cast<long long>(m.size1),
-                m.ratio_cut, m.absorption);
+    if (k == 2) {
+      const prop::Partition part(g, r.best.side);
+      const prop::PartitionMetrics m = prop::compute_metrics(part);
+      std::printf("sizes %lld | %lld   ratio-cut %.3g   absorption %.1f\n",
+                  static_cast<long long>(m.size0),
+                  static_cast<long long>(m.size1), m.ratio_cut, m.absorption);
+    } else {
+      // K-way: ratio-cut/absorption are 2-way metrics; report the balance
+      // that matters here — per-part total node sizes.
+      std::vector<long long> sizes(k, 0);
+      for (std::size_t i = 0; i < r.best.side.size(); ++i) {
+        sizes[r.best.side[i]] +=
+            g.node_size(static_cast<prop::NodeId>(i));
+      }
+      std::printf("part sizes");
+      for (prop::NodeId p = 0; p < k; ++p) {
+        std::printf("%s %lld", p == 0 ? "" : " |", sizes[p]);
+      }
+      std::printf("\n");
+    }
     if (stats_json) {
       if (r.telemetry.empty()) {
         std::fprintf(stderr, "warning: %s records no refinement telemetry\n",
