@@ -1,17 +1,29 @@
-// Parallel round-engine benchmark and determinism gate (DESIGN §4i).
+// Parallel round-engine benchmark and determinism gate (DESIGN §4i/§4k).
 //
 // For each circuit, times PROP end-to-end via run_many under:
-//   * engine "seq":      pass_threads = 0, the classic sequential move loop
-//                        (the quality/speed reference this PR must not touch);
-//   * engine "round-N":  the deterministic round engine at pass_threads =
-//                        1, 2 and 4 — same synchronous schedule, N-way
-//                        intra-pass parallelism.
+//   * engine "seq":         pass_threads = 0, the classic sequential move
+//                           loop (the quality/speed reference);
+//   * engine "roundfull-1": the round engine at pass_threads = 1 with
+//                           full_sweep_rounds = true — the pre-active-set
+//                           schedule (every round sweeps all free nodes and
+//                           rebuilds all nets), the cost reference the §4k
+//                           active set is measured against;
+//   * engine "round-N":     the deterministic round engine at pass_threads
+//                           = 1, 2 and 4 with active-set (delta-driven)
+//                           sweeps — same synchronous schedule, N-way
+//                           intra-pass parallelism.
+// The "kway" kernel repeats the same grid for the k = 4 pipeline
+// (recursive bisection + native k-way PROP polish), whose round engine
+// mirrors the 2-way one.
 //
 // Two contracts are enforced in-binary:
 //   1. Determinism (exit 5): the round engine's best partition (sides +
 //      cut) AND its full --stats-json document (timing excluded) must be
-//      byte-identical across every measured pass_threads value.  This is
-//      the "any N" clause of PropConfig::pass_threads made executable.
+//      byte-identical across every measured pass_threads value — AND for
+//      the roundfull-1 reference, which must match round-1 exactly (the
+//      active-set sweep is an exact-identity optimization).  This is the
+//      "any N" clause of PropConfig::pass_threads and the §4k identity
+//      contract made executable.
 //   2. Perf regression (exit 4): with --baseline FILE, wall seconds are
 //      compared cell-by-cell against the committed BENCH_parallel_pass.json
 //      exactly like bench/gain_kernels — fail past --max-regress (default
@@ -20,6 +32,10 @@
 //
 // Every cell is measured --min-of K times (default 3, minimum wall kept):
 // host noise is one-sided, the min is the estimator a 25% gate can sit on.
+// Circuits named synthN are scaled synthetic instances (N nodes); the
+// default set includes synth10000 so the committed baseline documents the
+// active-set CPU reduction at 10^4 nodes (the roundfull-1 / round-1 cpu
+// ratio printed per circuit).
 //
 // Flags: --fast / --circuit NAME, --runs N, --seed N, --min-of K,
 // --out FILE, --baseline FILE, --max-regress X.
@@ -30,9 +46,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "bench_common.h"
 #include "core/prop_partitioner.h"
+#include "hypergraph/generator.h"
 #include "hypergraph/mcnc_suite.h"
+#include "kway/kway_partitioner.h"
 #include "partition/runner.h"
 #include "util/cli.h"
 #include "util/timer.h"
@@ -44,6 +64,17 @@ using prop::Hypergraph;
 using prop::MultiRunResult;
 using prop::PropConfig;
 using prop::PropPartitioner;
+
+/// Bundled MCNC stand-in, or a scaled synthetic instance for "synthN".
+Hypergraph make_circuit(const std::string& name) {
+  if (name.rfind("synth", 0) == 0) {
+    const long long n = std::atoll(name.c_str() + 5);
+    return prop::generate_circuit(
+        prop::scaled_spec(name, static_cast<prop::NodeId>(n)),
+        prop::kSuiteSeed);
+  }
+  return prop::make_mcnc_circuit(name);
+}
 
 struct Row {
   std::string kernel;
@@ -61,12 +92,9 @@ struct Measured {
   double wall_seconds = 0.0;
 };
 
-Measured run_prop(const Hypergraph& g, const std::string& circuit,
-                  const BalanceConstraint& balance, int pass_threads,
-                  int runs, std::uint64_t seed, int min_of) {
-  PropConfig config;
-  config.pass_threads = pass_threads;
-  PropPartitioner algo(config);
+Measured measure(prop::Bipartitioner& algo, const Hypergraph& g,
+                 const std::string& circuit, const BalanceConstraint& balance,
+                 int runs, std::uint64_t seed, int min_of) {
   prop::RunnerOptions options;
   options.collect_telemetry = true;
 
@@ -87,6 +115,35 @@ Measured run_prop(const Hypergraph& g, const std::string& circuit,
     }
   }
   return m;
+}
+
+Measured run_prop(const Hypergraph& g, const std::string& circuit,
+                  const BalanceConstraint& balance, int pass_threads,
+                  bool full_sweep, int runs, std::uint64_t seed, int min_of) {
+  PropConfig config;
+  config.pass_threads = pass_threads;
+  config.full_sweep_rounds = full_sweep;
+  PropPartitioner algo(config);
+  return measure(algo, g, circuit, balance, runs, seed, min_of);
+}
+
+/// The k = 4 pipeline (recursive PROP bisection + greedy legalization +
+/// native k-way PROP).  pass_threads/full_sweep reach BOTH PROP stages so
+/// the identity gates cover the 2-way and the k-way round engines at once.
+Measured run_kway(const Hypergraph& g, const std::string& circuit,
+                  const BalanceConstraint& balance, int pass_threads,
+                  bool full_sweep, int runs, std::uint64_t seed, int min_of) {
+  PropConfig bisector_config;
+  bisector_config.pass_threads = pass_threads;
+  bisector_config.full_sweep_rounds = full_sweep;
+  prop::KWayPipelineConfig config;
+  config.k = 4;
+  config.refiner = prop::KWayRefinerKind::kProp;
+  config.prop.pass_threads = pass_threads;
+  config.prop.full_sweep_rounds = full_sweep;
+  prop::KWayPartitioner algo(
+      std::make_unique<PropPartitioner>(bisector_config), config);
+  return measure(algo, g, circuit, balance, runs, seed, min_of);
 }
 
 // Line-oriented baseline reader; the JSON below keeps one row per line.
@@ -138,8 +195,9 @@ int main(int argc, char** argv) {
   }
   // Default circuit set is deliberately small: the round engine trades CPU
   // for wall-clock scalability, so full-suite sweeps belong to the table
-  // harnesses, not the perf gate.
-  std::vector<std::string> circuits = {"balu", "struct"};
+  // harnesses, not the perf gate.  synth10000 is the 10^4-node instance the
+  // active-set CPU-reduction claim is documented on.
+  std::vector<std::string> circuits = {"balu", "struct", "synth10000"};
   if (const auto one = args.get("circuit")) circuits = {*one};
   if (args.get_bool_or("fast", false)) circuits = {"balu"};
   const int runs = static_cast<int>(args.get_int_or("runs", 3));
@@ -153,57 +211,80 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   bool diverged = false;
-  std::printf("%-8s %-8s %10s %10s %8s\n", "circuit", "engine", "wall_s",
-              "cpu_s", "cut");
-  for (const std::string& name : circuits) {
-    const Hypergraph g = prop::make_mcnc_circuit(name);
-    const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  std::printf("%-12s %-12s %-12s %10s %10s %8s\n", "kernel", "circuit",
+              "engine", "wall_s", "cpu_s", "cut");
 
-    const Measured seq = run_prop(g, name, balance, 0, runs, seed, min_of);
-    rows.push_back(Row{"end-to-end", name, "seq",
-                       static_cast<std::uint64_t>(runs), seq.wall_seconds,
-                       seq.result.total_cpu_seconds,
-                       seq.result.best.cut_cost});
-    std::printf("%-8s %-8s %10.4f %10.4f %8.0f\n", name.c_str(), "seq",
-                seq.wall_seconds, seq.result.total_cpu_seconds,
-                seq.result.best.cut_cost);
+  // One kernel grid: seq, roundfull-1 reference, round-{1,2,4}.  The gates
+  // compare every round-N AND roundfull-1 against round-1, byte for byte.
+  using RunFn = Measured (*)(const Hypergraph&, const std::string&,
+                             const BalanceConstraint&, int, bool, int,
+                             std::uint64_t, int);
+  const auto bench_kernel = [&](const char* kernel, RunFn run,
+                                const std::string& name, const Hypergraph& g,
+                                const BalanceConstraint& balance) {
+    const auto emit = [&](const char* engine, const Measured& m) {
+      rows.push_back(Row{kernel, name, engine,
+                         static_cast<std::uint64_t>(runs), m.wall_seconds,
+                         m.result.total_cpu_seconds, m.result.best.cut_cost});
+      std::printf("%-12s %-12s %-12s %10.4f %10.4f %8.0f\n", kernel,
+                  name.c_str(), engine, m.wall_seconds,
+                  m.result.total_cpu_seconds, m.result.best.cut_cost);
+    };
+    const auto check_identity = [&](const char* engine, const Measured& m,
+                                    const Measured& reference) {
+      if (m.result.best.side != reference.result.best.side ||
+          m.result.best.cut_cost != reference.result.best.cut_cost) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s/%s %s best partition "
+                     "differs from round-1\n",
+                     kernel, name.c_str(), engine);
+        diverged = true;
+      }
+      if (m.stats_json != reference.stats_json) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: %s/%s %s stats-json differs "
+                     "from round-1\n",
+                     kernel, name.c_str(), engine);
+        diverged = true;
+      }
+    };
 
-    const Measured* reference = nullptr;
+    const Measured seq = run(g, name, balance, 0, false, runs, seed, min_of);
+    emit("seq", seq);
+    const Measured full =
+        run(g, name, balance, 1, true, runs, seed, min_of);
+    emit("roundfull-1", full);
     std::vector<Measured> measured;
     measured.reserve(3);
     for (const int threads : thread_counts) {
       measured.push_back(
-          run_prop(g, name, balance, threads, runs, seed, min_of));
+          run(g, name, balance, threads, false, runs, seed, min_of));
       const Measured& m = measured.back();
       const std::string engine = "round-" + std::to_string(threads);
-      rows.push_back(Row{"end-to-end", name, engine,
-                         static_cast<std::uint64_t>(runs), m.wall_seconds,
-                         m.result.total_cpu_seconds, m.result.best.cut_cost});
-      std::printf("%-8s %-8s %10.4f %10.4f %8.0f\n", name.c_str(),
-                  engine.c_str(), m.wall_seconds, m.result.total_cpu_seconds,
-                  m.result.best.cut_cost);
-      if (reference == nullptr) {
-        reference = &measured.front();
-        continue;
-      }
-      // Determinism gate: identical best partition and identical
-      // timing-free stats document, byte for byte, for every N.
-      if (m.result.best.side != reference->result.best.side ||
-          m.result.best.cut_cost != reference->result.best.cut_cost) {
-        std::fprintf(stderr,
-                     "DETERMINISM VIOLATION: %s pass_threads=%d best "
-                     "partition differs from pass_threads=1\n",
-                     name.c_str(), threads);
-        diverged = true;
-      }
-      if (m.stats_json != reference->stats_json) {
-        std::fprintf(stderr,
-                     "DETERMINISM VIOLATION: %s pass_threads=%d stats-json "
-                     "differs from pass_threads=1\n",
-                     name.c_str(), threads);
-        diverged = true;
+      emit(engine.c_str(), m);
+      if (&m != &measured.front()) {
+        check_identity(engine.c_str(), m, measured.front());
       }
     }
+    // §4k identity contract: the active-set schedule is an exact-identity
+    // optimization of the full-sweep schedule.
+    check_identity("roundfull-1", full, measured.front());
+    if (measured.front().result.total_cpu_seconds > 0.0) {
+      std::printf("%-12s %-12s active-set cpu reduction: %.2fx "
+                  "(roundfull-1 %.4fs / round-1 %.4fs)\n",
+                  kernel, name.c_str(),
+                  full.result.total_cpu_seconds /
+                      measured.front().result.total_cpu_seconds,
+                  full.result.total_cpu_seconds,
+                  measured.front().result.total_cpu_seconds);
+    }
+  };
+
+  for (const std::string& name : circuits) {
+    const Hypergraph g = make_circuit(name);
+    const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+    bench_kernel("end-to-end", &run_prop, name, g, balance);
+    bench_kernel("kway", &run_kway, name, g, balance);
   }
 
   // JSON out, one row per line (the baseline reader depends on that).

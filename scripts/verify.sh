@@ -89,6 +89,10 @@ echo "== k-way smoke (asan+ubsan) =="
   > /dev/null
 ./build-asan/tools/prop_cli --circuit p1 --k 8 --multilevel --runs 1 \
   > /dev/null
+# K-way round engine (§4k): the active-set sweeps, KWayGainEntry snapshots
+# and batched apply/rebuild path of both PROP stages under ASan.
+./build-asan/tools/prop_cli --circuit p1 --algo prop --k 4 --pass-threads 4 \
+  --runs 1 > /dev/null
 
 # Service chaos soak under ASan+UBSan: a short fault-injected soak that
 # drives the admission queue past its limit.  The binary itself is the gate —
@@ -129,6 +133,10 @@ echo "== tsan parallel smoke =="
 # per-net product rebuild) under TSan — the data-race surface of DESIGN §4i.
 ./build-tsan/tools/prop_cli --circuit balu --algo prop --runs 2 \
   --pass-threads 4 > /dev/null
+# The k-way round engine plus multi-round barrier batching (§4k): entry
+# sweeps over dirty nodes and rounds_per_barrier pool engagement under TSan.
+./build-tsan/tools/prop_cli --circuit balu --algo prop --k 4 --runs 2 \
+  --pass-threads 4 --rounds-per-barrier 2 > /dev/null
 # K-way jobs across the parallel runner: each worker clones the whole
 # KWayPartitioner pipeline, so this exercises clone isolation under TSan.
 ./build-tsan/tools/prop_cli --circuit t4 --algo prop --k 4 --runs 4 \

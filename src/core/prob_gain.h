@@ -147,6 +147,53 @@ class ProbGainCalculator {
   /// locked.
   void apply_moves(Partition& part, const NodeId* movers, std::size_t count);
 
+  // --- Active-set (dirty-net) tracking (DESIGN §4k) -----------------------
+  //
+  // Opt-in bookkeeping consumed by the delta-driven sweeps: when enabled,
+  // every mutation that can change any gain input of a net's pins — a
+  // probability change, a lock, a locked-pin side shift, a committed move,
+  // or a staged probability folded in through note_staged_changes — marks
+  // that net dirty (byte bitmap + append-once list, deterministic order).
+  // Full-state invalidations (reset, renormalize_all) raise all_dirty()
+  // instead: after an exact global renormalization every cached product may
+  // carry new bits, so no per-net delta is meaningful and the next sweep
+  // must be full.  Consumers sweep the pins of dirty_nets(), then
+  // clear_dirty().  Tracking is pure bookkeeping: no tracked call changes
+  // any cache bit, so enabling it never changes any gain.
+
+  /// Enables/disables tracking.  Enabling (re)starts in the all-dirty
+  /// state; buffers are sized on first enable (O(n + m); re-enabling reuses
+  /// them, allocation-free).
+  void set_dirty_tracking(bool on);
+  bool dirty_tracking() const noexcept { return track_dirty_; }
+
+  /// True when the next sweep must cover everything: tracking disabled, or
+  /// a full-state invalidation since the last clear_dirty().
+  bool all_dirty() const noexcept { return !track_dirty_ || all_dirty_; }
+
+  /// Nets marked dirty since the last clear_dirty(), in marking order
+  /// (deterministic, duplicate-free).  Meaningless while all_dirty().
+  const std::vector<NetId>& dirty_nets() const noexcept { return dirty_nets_; }
+
+  /// Leaves the all-dirty state / empties the dirty list.
+  void clear_dirty();
+
+  /// Sequentially folds staged probability changes into the dirty set: for
+  /// each listed node whose stage_probability call actually changed p since
+  /// the last note, marks its nets and clears the per-node changed flag.
+  /// The list must cover every node staged since the last note (a staged
+  /// node left unnoted would leak a stale flag into a later round).
+  void note_staged_changes(const NodeId* nodes, std::size_t count);
+  /// note_staged_changes over the full node range [0, num_nodes).
+  void note_staged_changes_all();
+
+  /// rebuild_products over an explicit net list: exactly recomputes both
+  /// product slots of nets[i] for i in [begin, end).  Concurrent calls on
+  /// disjoint index ranges are race-free (net lists from dirty_nets() are
+  /// duplicate-free).  No-op under the scratch engine.
+  void rebuild_products_for(const NetId* nets, std::size_t begin,
+                            std::size_t end);
+
   /// Probabilistic gain g(u) = sum over nets of u of g_n(u).
   /// O(degree(u)) cached, O(degree(u) * netsize) scratch.  Shadow returns
   /// the scratch answer after asserting the cached one agrees within
@@ -309,6 +356,19 @@ class ProbGainCalculator {
   void scratch_side(NetId n, int s, double& prod,
                     std::uint32_t& zeros) const;
 
+  /// Appends n to the dirty list once.  No-op while all_dirty_ is raised
+  /// (the list is already superseded).  Only called under track_dirty_.
+  void mark_net(NetId n) {
+    if (all_dirty_) return;
+    if (!net_dirty_[n]) {
+      net_dirty_[n] = 1;
+      dirty_nets_.push_back(n);
+    }
+  }
+  void mark_nets_of(NodeId u);
+  /// Raises all_dirty(), superseding (and emptying) the per-net list.
+  void mark_all_dirty();
+
   const Partition* part_;
   GainEngine engine_;
   int renorm_interval_;
@@ -323,6 +383,13 @@ class ProbGainCalculator {
   std::vector<std::uint32_t> zero_free_;  // free pins with p == 0
   std::vector<std::uint32_t> updates_;    // incremental updates this epoch
   std::vector<double> recip_;          // 1/p, 0 where p == 0
+
+  // Active-set state (sized by set_dirty_tracking; see the section above).
+  bool track_dirty_ = false;
+  bool all_dirty_ = true;
+  std::vector<std::uint8_t> net_dirty_;       // per net: on the dirty list?
+  std::vector<NetId> dirty_nets_;
+  std::vector<std::uint8_t> staged_changed_;  // per node: staged p changed?
 };
 
 }  // namespace prop

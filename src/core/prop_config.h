@@ -69,6 +69,24 @@ struct PropConfig {
   /// its cuts legitimately differ from pass_threads = 0.
   int pass_threads = 0;
 
+  /// Round batching for the round engine (DESIGN §4k): the worker pool is
+  /// only engaged on every `rounds_per_barrier`-th round; the rounds in
+  /// between run inline on the calling thread, skipping the fork/join
+  /// barriers that dominate on small instances.  Chunking never affects
+  /// any computed value, so output stays byte-identical for every setting.
+  /// 1 (default) keeps the one-barrier-per-round schedule; ignored when
+  /// pass_threads == 0.
+  int rounds_per_barrier = 1;
+
+  /// Debug/bench reference mode for the round engine (DESIGN §4k): forces
+  /// every round to sweep gains of ALL free nodes and rebuild ALL nets —
+  /// the pre-active-set schedule — instead of only those incident to nets
+  /// dirtied since the previous round.  Output is byte-identical either
+  /// way (the active-set sweep is an exact-identity optimization); this
+  /// knob exists so benches and property tests can measure and assert
+  /// that.  Ignored when pass_threads == 0.
+  bool full_sweep_rounds = false;
+
   /// Opt-in per-pass trajectory recording; null records nothing.
   RefineTelemetry* telemetry = nullptr;
 

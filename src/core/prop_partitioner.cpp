@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/round_policy.h"
 #include "fm/fm_partitioner.h"
 #include "partition/initial.h"
 #include "telemetry/invariant_audit.h"
@@ -21,24 +22,6 @@ constexpr double kEps = 1e-9;
 /// treated as equal (selection ties) or as unchanged (delta application,
 /// refresh-node tree updates).
 constexpr double kGainEps = 1e-12;
-
-/// Per-round commit cap for the round engine: at most ~sqrt(free)/3 moves
-/// commit per round.  Whole-snapshot commits are maximally parallel but
-/// order moves far worse than the sequential engine's adaptive best-first
-/// selection: a committed move invalidates the snapshot gains of its
-/// neighborhood, so good follow-up moves end up interleaved with the
-/// round's bad tail in the prefix order, which best-prefix rollback cannot
-/// separate (measured: ~2x worse mean cut with unbounded rounds).  The
-/// quality-neutral cap grows sublinearly with instance size (~8 at 800
-/// nodes, ~32 at 10^4 — steep degradation past ~4x those), which sqrt(n)/3
-/// tracks on both scales.  The cap depends only on the candidate count —
-/// never on scheduling — so determinism is preserved; std::sqrt on exact
-/// small integers is correctly rounded and platform-stable.
-std::size_t round_commit_cap(std::size_t candidates) {
-  const auto cap =
-      static_cast<std::size_t>(std::sqrt(static_cast<double>(candidates)) / 3.0);
-  return cap < 1 ? 1 : cap;
-}
 
 }  // namespace
 
@@ -60,10 +43,18 @@ PropRefiner::PropRefiner(Partition& part, const BalanceConstraint& balance,
   sort_scratch_[1].reserve(part.graph().num_nodes());
   if (config.pass_threads >= 1) {
     round_order_.reserve(part.graph().num_nodes());
+    free_candidates_.reserve(part.graph().num_nodes());
     net_stamp_.assign(part.graph().num_nets(), 0);
     if (config.pass_threads >= 2) {
       pass_pool_ = std::make_unique<ThreadPool>(config.pass_threads - 1);
     }
+  }
+  if (config.pass_threads >= 1 || config.gain_engine == GainEngine::kCached) {
+    // Size the active-set buffers up front so toggling tracking per pass
+    // stays allocation-free (the gain-kernel bench asserts steady-state
+    // passes allocate nothing).
+    sweep_nodes_.reserve(part.graph().num_nodes());
+    calc_.set_dirty_tracking(true);
   }
 }
 
@@ -72,8 +63,30 @@ double PropRefiner::run_pass(PassStats* stats) {
                                     : run_sequential_pass(stats);
 }
 
-void PropRefiner::parallel_gain_sweep() {
-  parallel_for(pass_pool_.get(), part_->graph().num_nodes(),
+bool PropRefiner::collect_sweep_nodes() {
+  if (calc_.all_dirty()) {
+    calc_.clear_dirty();
+    return false;
+  }
+  const Hypergraph& g = part_->graph();
+  sweep_nodes_.clear();
+  ++stamp_;
+  for (const NetId net : calc_.dirty_nets()) {
+    for (const NodeId v : g.pins_of(net)) {
+      if (!calc_.is_free(v) || visit_stamp_[v] == stamp_) continue;
+      visit_stamp_[v] = stamp_;
+      sweep_nodes_.push_back(v);
+    }
+  }
+  // Ascending node order: the computed values never depend on the order,
+  // but deterministic chunking of the parallel dirty sweep does.
+  std::sort(sweep_nodes_.begin(), sweep_nodes_.end());
+  calc_.clear_dirty();
+  return true;
+}
+
+void PropRefiner::parallel_gain_sweep(ThreadPool* pool) {
+  parallel_for(pool, part_->graph().num_nodes(),
                [this](std::size_t begin, std::size_t end) {
                  for (std::size_t u = begin; u < end; ++u) {
                    const NodeId v = static_cast<NodeId>(u);
@@ -82,29 +95,71 @@ void PropRefiner::parallel_gain_sweep() {
                });
 }
 
-void PropRefiner::stage_probabilities_and_rebuild() {
-  const ProbabilityModel& model = config_->model;
-  parallel_for(pass_pool_.get(), part_->graph().num_nodes(),
-               [this, &model](std::size_t begin, std::size_t end) {
-                 for (std::size_t u = begin; u < end; ++u) {
-                   const NodeId v = static_cast<NodeId>(u);
-                   if (calc_.is_free(v)) {
-                     calc_.stage_probability(v, model.from_gain(gains_[v]));
-                   }
+void PropRefiner::parallel_gain_sweep_dirty(ThreadPool* pool) {
+  parallel_for(pool, sweep_nodes_.size(),
+               [this](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   const NodeId v = sweep_nodes_[i];
+                   gains_[v] = calc_.gain(v);
                  }
                });
-  parallel_for(pass_pool_.get(), part_->graph().num_nets(),
-               [this](std::size_t begin, std::size_t end) {
-                 calc_.rebuild_products(static_cast<NetId>(begin),
-                                        static_cast<NetId>(end));
-               });
+}
+
+void PropRefiner::stage_probabilities_and_rebuild(ThreadPool* pool,
+                                                  bool dirty_only) {
+  const ProbabilityModel& model = config_->model;
+  if (dirty_only) {
+    // Only swept nodes can have a fresh gain; restaging anyone else would
+    // rewrite the same probability bits.  Movers locked by this round's
+    // walk are skipped exactly as in the full staging.
+    parallel_for(pool, sweep_nodes_.size(),
+                 [this, &model](std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     const NodeId v = sweep_nodes_[i];
+                     if (calc_.is_free(v)) {
+                       calc_.stage_probability(v, model.from_gain(gains_[v]));
+                     }
+                   }
+                 });
+    calc_.note_staged_changes(sweep_nodes_.data(), sweep_nodes_.size());
+  } else {
+    parallel_for(pool, part_->graph().num_nodes(),
+                 [this, &model](std::size_t begin, std::size_t end) {
+                   for (std::size_t u = begin; u < end; ++u) {
+                     const NodeId v = static_cast<NodeId>(u);
+                     if (calc_.is_free(v)) {
+                       calc_.stage_probability(v, model.from_gain(gains_[v]));
+                     }
+                   }
+                 });
+    calc_.note_staged_changes_all();
+  }
+  if (calc_.all_dirty()) {
+    parallel_for(pool, part_->graph().num_nets(),
+                 [this](std::size_t begin, std::size_t end) {
+                   calc_.rebuild_products(static_cast<NetId>(begin),
+                                          static_cast<NetId>(end));
+                 });
+  } else {
+    // Active-set rebuild (DESIGN §4k): a clean net's stored products are
+    // the exact pin-order recompute from unchanged inputs, so rebuilding
+    // only the dirty nets leaves every slot bit-identical to a full
+    // rebuild.  The dirty list is read non-destructively — the next
+    // round's sweep consumes the same set.
+    const std::vector<NetId>& dirty = calc_.dirty_nets();
+    parallel_for(pool, dirty.size(),
+                 [this, &dirty](std::size_t begin, std::size_t end) {
+                   calc_.rebuild_products_for(dirty.data(), begin, end);
+                 });
+  }
 }
 
 void PropRefiner::bootstrap_probabilities_parallel() {
   const Partition& part = *part_;
   const PropConfig& config = *config_;
+  ThreadPool* pool = pass_pool_.get();
   const bool uniform = config.bootstrap == PropBootstrap::kUniform;
-  parallel_for(pass_pool_.get(), part.graph().num_nodes(),
+  parallel_for(pool, part.graph().num_nodes(),
                [this, &part, &config, uniform](std::size_t begin,
                                                std::size_t end) {
                  for (std::size_t u = begin; u < end; ++u) {
@@ -115,7 +170,11 @@ void PropRefiner::bootstrap_probabilities_parallel() {
                                         part.immediate_gain(v)));
                  }
                });
-  parallel_for(pass_pool_.get(), part.graph().num_nets(),
+  // The calculator is all-dirty straight after reset, so this marks
+  // nothing — it just clears the per-node staged flags ahead of the first
+  // tracked staging round.
+  calc_.note_staged_changes_all();
+  parallel_for(pool, part.graph().num_nets(),
                [this](std::size_t begin, std::size_t end) {
                  calc_.rebuild_products(static_cast<NetId>(begin),
                                         static_cast<NetId>(end));
@@ -124,15 +183,27 @@ void PropRefiner::bootstrap_probabilities_parallel() {
     // Node-major on purpose: gains_[u] accumulates over u's nets in a fixed
     // per-node order regardless of how the index range is chunked, unlike
     // the sequential engine's net-major accumulation whose FP sum order
-    // would depend on the chunking.
-    parallel_gain_sweep();
-    stage_probabilities_and_rebuild();
+    // would depend on the chunking.  The first iteration sweeps everything
+    // (all-dirty); later ones only re-derive nodes whose nets were dirtied
+    // by the previous staging — everyone else's stored gain is already the
+    // value a full sweep would recompute.
+    const bool dirty = collect_sweep_nodes();
+    if (dirty) {
+      parallel_gain_sweep_dirty(pool);
+    } else {
+      parallel_gain_sweep(pool);
+    }
+    stage_probabilities_and_rebuild(pool, dirty);
   }
 }
 
-/// One PROP pass as synchronous move rounds (DESIGN §4i).  Each round:
-/// (1) every free node's probabilistic gain is computed in parallel against
-/// the round-start snapshot of probabilities and cached products;
+/// One PROP pass as synchronous move rounds (DESIGN §4i; active-set sweeps
+/// §4k).  Each round:
+/// (1) free nodes' probabilistic gains are computed in parallel against
+/// the round-start snapshot of probabilities and cached products — all of
+/// them on a full-sweep round, otherwise only the active set (nodes on
+/// nets dirtied since the previous sweep; everyone else's stored gain is
+/// bitwise what the full sweep would recompute);
 /// (2) candidates are ordered deterministically (gain descending, node id
 /// ascending — an exact double compare, no scheduling influence);
 /// (3) a sequential conflict-resolution walk commits the maximal ordered
@@ -156,41 +227,90 @@ double PropRefiner::run_round_pass(PassStats* stats) {
   const BalanceConstraint& balance = *balance_;
   const RunContext* ctx = config_->context;
 
+  // Full-sweep reference mode disables tracking outright: all_dirty()
+  // then always reads true and every round takes the sweep-everything /
+  // rebuild-everything branches — the pre-active-set schedule.
+  calc_.set_dirty_tracking(!config_->full_sweep_rounds);
   calc_.reset();
+
+  // Stamp-epoch rewinds before anything can wrap: one net stamp per round
+  // (at most n rounds per pass), one visit stamp per collect_sweep_nodes
+  // call (at most one per bootstrap iteration plus one per round).
+  if (static_cast<std::uint64_t>(round_stamp_) + n + 2 >=
+      static_cast<std::uint32_t>(-1)) {
+    std::fill(net_stamp_.begin(), net_stamp_.end(), 0);
+    round_stamp_ = 0;
+  }
+  const std::uint64_t iters =
+      config_->refine_iterations > 0 ? config_->refine_iterations : 0;
+  if (static_cast<std::uint64_t>(stamp_) + n + iters + 2 >=
+      static_cast<std::uint32_t>(-1)) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    stamp_ = 0;
+  }
+
   bootstrap_probabilities_parallel();
+
+  // Every node is free after reset(); the list is compacted as the walk
+  // locks movers, so later (smaller) rounds collect in O(free).
+  free_candidates_.resize(n);
+  for (NodeId u = 0; u < n; ++u) free_candidates_[u] = u;
 
   moved_.clear();
   double prefix = 0.0;
   double best_prefix = 0.0;
   std::size_t best_count = 0;
 
-  // One stamp per round; rewind before the epoch counter can wrap (at most
-  // one stamp per round, at most n rounds per pass).
-  if (round_stamp_ >= static_cast<std::uint32_t>(-1) - n - 1) {
-    std::fill(net_stamp_.begin(), net_stamp_.end(), 0);
-    round_stamp_ = 0;
-  }
+  const std::uint64_t rounds_per_barrier =
+      config_->rounds_per_barrier < 1 ? 1 : config_->rounds_per_barrier;
+  std::uint64_t round_index = 0;
 
   while (true) {
     if (ctx && ctx->refine_should_stop()) {
       interrupted_ = true;
       break;
     }
-    // (1) Snapshot gains of every free node, in parallel.
-    parallel_gain_sweep();
+    // Barrier batching (DESIGN §4k): only every rounds_per_barrier-th round
+    // engages the worker pool; the rest run inline, skipping the fork/join
+    // cost.  Chunk layout never affects any computed value, so the output
+    // is byte-identical for every setting.
+    ThreadPool* pool =
+        round_index % rounds_per_barrier == 0 ? pass_pool_.get() : nullptr;
+    ++round_index;
 
-    // (2) Deterministic candidate order.
-    round_order_.clear();
-    for (NodeId u = 0; u < n; ++u) {
-      if (calc_.is_free(u)) round_order_.emplace_back(gains_[u], u);
+    // (1) Snapshot gains, in parallel: everything on the first round (and
+    // whenever the calculator went all-dirty), afterwards only the nodes
+    // incident to nets dirtied by the previous round's commits + staging —
+    // every other node's stored gain is bitwise what a full sweep would
+    // recompute against the identical snapshot.
+    const bool dirty = collect_sweep_nodes();
+    if (dirty) {
+      parallel_gain_sweep_dirty(pool);
+    } else {
+      parallel_gain_sweep(pool);
     }
+
+    // (2) Deterministic candidate order: gain descending, node id ascending
+    // — an exact double compare over unique ids, i.e. a strict total order.
+    // Heapified, not sorted: popping the max repeatedly visits candidates
+    // in exactly the sorted order, but the walk below only ever consumes a
+    // small prefix (the commit cap plus its skips), so the O(c log c) sort
+    // becomes O(c) heapify + O(scanned * log c) pops.
+    round_order_.clear();
+    std::size_t kept = 0;
+    for (const NodeId u : free_candidates_) {
+      if (!calc_.is_free(u)) continue;
+      free_candidates_[kept++] = u;
+      round_order_.emplace_back(gains_[u], u);
+    }
+    free_candidates_.resize(kept);
     if (round_order_.empty()) break;
-    std::sort(round_order_.begin(), round_order_.end(),
-              [](const std::pair<double, NodeId>& a,
-                 const std::pair<double, NodeId>& b) {
-                if (a.first != b.first) return a.first > b.first;
-                return a.second < b.second;
-              });
+    const auto cand_below = [](const std::pair<double, NodeId>& a,
+                               const std::pair<double, NodeId>& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
+    };
+    std::make_heap(round_order_.begin(), round_order_.end(), cand_below);
 
     // (3) Sequential conflict-resolution walk.  Commits per round are
     // capped: a whole-snapshot commit is maximally parallel but orders
@@ -203,9 +323,11 @@ double PropRefiner::run_round_pass(PassStats* stats) {
     const std::size_t max_commits = round_commit_cap(round_order_.size());
     ++round_stamp_;
     const std::size_t round_begin = moved_.size();
-    for (const std::pair<double, NodeId>& cand : round_order_) {
+    while (!round_order_.empty()) {
       if (moved_.size() - round_begin >= max_commits) break;
-      const NodeId u = cand.second;
+      std::pop_heap(round_order_.begin(), round_order_.end(), cand_below);
+      const NodeId u = round_order_.back().second;
+      round_order_.pop_back();
       if (!balance.move_feasible(part.side_size(0), part.side(u),
                                  g.node_size(u))) {
         continue;
@@ -236,7 +358,7 @@ double PropRefiner::run_round_pass(PassStats* stats) {
 
     // (4) Refresh probabilities from the snapshot gains (the paper's
     // Sec. 3.4 staleness policy, batched per round) and rebuild the cache.
-    stage_probabilities_and_rebuild();
+    stage_probabilities_and_rebuild(pool, dirty);
   }
 
   // Step 10: keep only the maximum-prefix moves.
@@ -274,8 +396,18 @@ void PropRefiner::bootstrap_probabilities() {
   }
   const NetId nets = part.graph().num_nets();
   for (int iter = 0; iter < config.refine_iterations; ++iter) {
-    // Gains from the current probability snapshot...
-    if (config.gain_engine == GainEngine::kCached) {
+    // Gains from the current probability snapshot...  The first iteration
+    // always sweeps everything (reset leaves the calculator all-dirty);
+    // later iterations consume the dirty set the previous iteration's
+    // set_probability calls accumulated — tracking is only ever enabled
+    // here under kCached, where cached_gain(u) adds u's per-net terms in
+    // ascending net order with arithmetic identical to the net-major
+    // emission, so recomputing just the dirty nodes (everyone else keeps
+    // their stored sum) is bit-identical to the full net-major sweep.
+    const bool dirty = collect_sweep_nodes();
+    if (dirty) {
+      for (const NodeId v : sweep_nodes_) gains_[v] = calc_.gain(v);
+    } else if (config.gain_engine == GainEngine::kCached) {
       std::fill(gains_.begin(), gains_.end(), 0.0);
       for (NetId net = 0; net < nets; ++net) {
         calc_.for_each_net_gain(
@@ -382,8 +514,26 @@ double PropRefiner::run_sequential_pass(PassStats* stats) {
   const Hypergraph& g = part.graph();
   const NodeId n = g.num_nodes();
 
+  // The visit-stamp epoch survives across passes (visit_stamp_ is reused,
+  // not reallocated); rewind it before it can wrap around: at most one
+  // stamp per bootstrap iteration plus one per move, at most n moves.
+  const std::uint64_t iters =
+      config.refine_iterations > 0 ? config.refine_iterations : 0;
+  if (static_cast<std::uint64_t>(stamp_) + n + iters + 2 >=
+      static_cast<std::uint32_t>(-1)) {
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    stamp_ = 0;
+  }
+
+  // Active-set bootstrap (DESIGN §4k): under the cached engine the
+  // gain/probability fixed-point iterations only re-derive nodes whose
+  // nets changed.  Tracking goes dormant for the move loop — its per-move
+  // delta propagation is already incremental — and the next pass's reset
+  // restarts from all-dirty either way.
+  calc_.set_dirty_tracking(config.gain_engine == GainEngine::kCached);
   calc_.reset();
   bootstrap_probabilities();
+  calc_.set_dirty_tracking(false);
 
   // Bulk-load the gain trees: stage (gain, node) per side, sort ascending
   // with node id as the tie key, link as a balanced tree in O(n).  Equal
@@ -432,14 +582,6 @@ double PropRefiner::run_sequential_pass(PassStats* stats) {
     });
     return found;
   };
-
-  // The visit-stamp epoch survives across passes (visit_stamp_ is reused,
-  // not reallocated); rewind it before it can wrap around (at most one
-  // stamp per move, at most n moves per pass).
-  if (stamp_ >= static_cast<std::uint32_t>(-1) - n - 1) {
-    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
-    stamp_ = 0;
-  }
 
   const RunContext* ctx = config.context;
 

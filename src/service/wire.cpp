@@ -243,6 +243,7 @@ std::optional<JobSpec> job_spec_from_json(const JsonValue& v,
       "algo",     "circuit",     "hgr",        "runs",
       "seed",     "balance",     "deadline_ms", "max_retries",
       "stats_timing", "return_partition", "pass_threads",
+      "rounds_per_barrier",
       "k",        "kway_refiner", "kway_objective"};
   for (const JsonValue::Member& m : v.members()) {
     bool known = false;
@@ -381,6 +382,18 @@ std::optional<JobSpec> job_spec_from_json(const JsonValue& v,
   } else if (!ok) {
     return std::nullopt;
   }
+  if (const JsonValue* rpb = expect(v, "rounds_per_barrier",
+                                    JsonValue::Type::kNumber, false, error,
+                                    &ok)) {
+    const std::int64_t r = rpb->as_int64();
+    if (r < 1 || r > 1024) {
+      set_error(error, "field 'rounds_per_barrier' must be in [1, 1024]");
+      return std::nullopt;
+    }
+    spec.rounds_per_barrier = static_cast<int>(r);
+  } else if (!ok) {
+    return std::nullopt;
+  }
   if (const JsonValue* k =
           expect(v, "k", JsonValue::Type::kNumber, false, error, &ok)) {
     const std::int64_t parts = k->as_int64();
@@ -428,6 +441,9 @@ JsonValue job_spec_to_json(const JobSpec& spec) {
   out.set("return_partition", JsonValue::boolean(spec.return_partition));
   out.set("pass_threads",
           JsonValue::number(static_cast<std::int64_t>(spec.pass_threads)));
+  out.set("rounds_per_barrier",
+          JsonValue::number(
+              static_cast<std::int64_t>(spec.rounds_per_barrier)));
   out.set("k", JsonValue::number(static_cast<std::int64_t>(spec.k)));
   out.set("kway_refiner", JsonValue::string(spec.kway_refiner));
   out.set("kway_objective", JsonValue::string(spec.kway_objective));

@@ -85,6 +85,12 @@ struct JobSpec {
   /// the two engines produce different (each deterministic) results; any
   /// N >= 1 yields identical bytes, so results stay a function of the spec.
   int pass_threads = 0;
+  /// Round batching of the round engine (PropConfig::rounds_per_barrier):
+  /// the worker pool is engaged only on every Nth round.  Output-neutral by
+  /// construction (byte-identical results for every value), carried in the
+  /// spec so operators can tune barrier overhead per job.  Ignored when
+  /// pass_threads = 0.
+  int rounds_per_barrier = 1;
   /// Number of parts.  2 = classic bisection through `algo` directly;
   /// 3-36 = recursive bisection with `algo` plus the k-way refiner below
   /// (36 caps what encode_side can carry per character).

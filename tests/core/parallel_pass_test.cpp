@@ -132,6 +132,72 @@ TEST(ParallelPass, ShadowEngineReproducesScratchUnderRoundEngine) {
   EXPECT_EQ(by_engine[1].cut_cost, by_engine[0].cut_cost);
 }
 
+TEST(ParallelPass, FullSweepRoundsReproduceActiveSetExactly) {
+  // §4k identity contract: disabling the active set (full_sweep_rounds =
+  // true re-sweeps every free node and rebuilds every net each round) must
+  // not change a single byte of the result — the dirty set only skips
+  // recomputations whose inputs are bitwise unchanged.
+  const Hypergraph circuits[] = {testing::small_random_circuit(61),
+                                 testing::chain_of_blocks(8, 8)};
+  for (const Hypergraph& g : circuits) {
+    const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+    for (const int threads : {1, 2}) {
+      PropConfig full_config = round_config(threads);
+      full_config.full_sweep_rounds = true;
+      PropPartitioner active(round_config(threads));
+      PropPartitioner full(full_config);
+      const PartitionResult a = active.run(g, balance, 9);
+      const PartitionResult f = full.run(g, balance, 9);
+      EXPECT_EQ(a.side, f.side) << "pass_threads=" << threads;
+      EXPECT_EQ(a.cut_cost, f.cut_cost) << "pass_threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelPass, FullSweepPassStatsMatchActiveSet) {
+  // Pass-level counters too, not just the final sides: the active set may
+  // not change what the schedule attempts or accepts.
+  const Hypergraph g = testing::small_random_circuit(17);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  Rng rng(17);
+  const auto sides = random_balanced_sides(g, balance, rng);
+  for (const int threads : {1, 2}) {
+    Partition active_part(g, sides);
+    Partition full_part(g, sides);
+    PropConfig full_config = round_config(threads);
+    full_config.full_sweep_rounds = true;
+    const PropConfig active_config = round_config(threads);
+    PropRefiner active(active_part, balance, active_config);
+    PropRefiner full(full_part, balance, full_config);
+    for (int pass = 0; pass < 3; ++pass) {
+      PassStats a, f;
+      active.run_pass(&a);
+      full.run_pass(&f);
+      EXPECT_EQ(a.moves_attempted, f.moves_attempted) << "pass " << pass;
+      EXPECT_EQ(a.moves_accepted, f.moves_accepted) << "pass " << pass;
+      EXPECT_EQ(a.rounds, f.rounds) << "pass " << pass;
+      EXPECT_EQ(a.best_prefix_gain, f.best_prefix_gain) << "pass " << pass;
+    }
+  }
+}
+
+TEST(ParallelPass, RoundsPerBarrierIsOutputNeutral) {
+  // The barrier batch size only decides which rounds engage the worker
+  // pool; the schedule itself is unchanged for every value.
+  const Hypergraph g = testing::small_random_circuit(37);
+  const BalanceConstraint balance = BalanceConstraint::fifty_fifty(g);
+  PropPartitioner reference(round_config(2));
+  const PartitionResult want = reference.run(g, balance, 11);
+  for (const int rpb : {2, 3, 7}) {
+    PropConfig config = round_config(2);
+    config.rounds_per_barrier = rpb;
+    PropPartitioner algo(config);
+    const PartitionResult got = algo.run(g, balance, 11);
+    EXPECT_EQ(got.side, want.side) << "rounds_per_barrier=" << rpb;
+    EXPECT_EQ(got.cut_cost, want.cut_cost) << "rounds_per_barrier=" << rpb;
+  }
+}
+
 TEST(ParallelPass, SequentialEngineIsUntouchedByDefault) {
   // pass_threads = 0 must keep producing exactly what the pre-round-engine
   // sequential path produced: the default-config run and an explicit

@@ -1,0 +1,203 @@
+// The k-way deterministic round engine (DESIGN §4i generalized to k parts,
+// active set per §4k): byte-identical partitions and pass stats for every
+// pass_threads >= 1, exact identity of the active-set (delta-driven) sweep
+// against full_sweep_rounds, rounds_per_barrier output-neutrality, and the
+// usual monotonicity / window contracts under the round schedule.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kway/kway_prop_refiner.h"
+#include "kway/kway_state.h"
+#include "partition/kway_balance.h"
+#include "telemetry/telemetry.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace prop {
+namespace {
+
+std::vector<NodeId> random_parts(const Hypergraph& g, NodeId k,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> part(g.num_nodes());
+  for (auto& p : part) p = static_cast<NodeId>(rng.bounded(k));
+  return part;
+}
+
+KWayBalanceWindow window_for(const Hypergraph& g, NodeId k) {
+  return kway_part_window(g.total_node_size(), k, 0.1, kway_max_node_size(g));
+}
+
+KWayPropConfig round_config(int pass_threads) {
+  KWayPropConfig config;
+  config.pass_threads = pass_threads;
+  return config;
+}
+
+/// Exact PassStats equality — every counter the pass reports is part of
+/// the determinism contract (exact double comparison intentional).
+void expect_same_stats(const RefineTelemetry& got, const RefineTelemetry& want,
+                       const char* label) {
+  ASSERT_EQ(got.passes.size(), want.passes.size()) << label;
+  for (std::size_t i = 0; i < want.passes.size(); ++i) {
+    EXPECT_EQ(got.passes[i].moves_attempted, want.passes[i].moves_attempted)
+        << label << " pass " << i;
+    EXPECT_EQ(got.passes[i].moves_accepted, want.passes[i].moves_accepted)
+        << label << " pass " << i;
+    EXPECT_EQ(got.passes[i].rounds, want.passes[i].rounds)
+        << label << " pass " << i;
+    EXPECT_EQ(got.passes[i].best_prefix_gain, want.passes[i].best_prefix_gain)
+        << label << " pass " << i;
+  }
+}
+
+TEST(KWayParallelPass, ByteIdenticalAcrossThreadCounts) {
+  // pass_threads = 1 is the serial reference execution of the k-way round
+  // engine; every higher thread count must reproduce it exactly — same
+  // part vector, same stats — for several k on random and planted circuits.
+  const Hypergraph circuits[] = {testing::small_random_circuit(61),
+                                 testing::chain_of_blocks(4, 12)};
+  for (const Hypergraph& g : circuits) {
+    for (const NodeId k : {3, 4, 8}) {
+      const KWayBalanceWindow window = window_for(g, k);
+      std::vector<NodeId> want = random_parts(g, k, 9000 + k);
+      const std::vector<NodeId> init = want;
+      RefineTelemetry want_telemetry;
+      KWayPropConfig reference = round_config(1);
+      reference.telemetry = &want_telemetry;
+      const KWayPropOutcome want_out =
+          kway_prop_refine(g, want, k, window, reference);
+      for (const int threads : {2, 3, 4}) {
+        std::vector<NodeId> got = init;
+        RefineTelemetry telemetry;
+        KWayPropConfig config = round_config(threads);
+        config.telemetry = &telemetry;
+        const KWayPropOutcome out =
+            kway_prop_refine(g, got, k, window, config);
+        EXPECT_EQ(got, want) << "k=" << k << " pass_threads=" << threads;
+        EXPECT_EQ(out.passes, want_out.passes);
+        EXPECT_EQ(out.connectivity_cost, want_out.connectivity_cost);
+        EXPECT_EQ(out.cut_cost, want_out.cut_cost);
+        expect_same_stats(telemetry, want_telemetry, "threads");
+      }
+    }
+  }
+}
+
+TEST(KWayParallelPass, FullSweepRoundsReproduceActiveSetExactly) {
+  // §4k identity contract: disabling the active set (full_sweep_rounds =
+  // true re-sweeps every free node and rebuilds every net each round) must
+  // not change a single byte of the result — the dirty set only skips
+  // recomputations whose inputs are bitwise unchanged.
+  const Hypergraph g = testing::small_random_circuit(67);
+  const NodeId k = 4;
+  const KWayBalanceWindow window = window_for(g, k);
+  for (const int threads : {1, 2, 4}) {
+    std::vector<NodeId> active = random_parts(g, k, 4100);
+    std::vector<NodeId> full = active;
+    RefineTelemetry active_telemetry;
+    RefineTelemetry full_telemetry;
+    KWayPropConfig active_config = round_config(threads);
+    active_config.telemetry = &active_telemetry;
+    KWayPropConfig full_config = round_config(threads);
+    full_config.full_sweep_rounds = true;
+    full_config.telemetry = &full_telemetry;
+    const KWayPropOutcome a =
+        kway_prop_refine(g, active, k, window, active_config);
+    const KWayPropOutcome f = kway_prop_refine(g, full, k, window, full_config);
+    EXPECT_EQ(active, full) << "pass_threads=" << threads;
+    EXPECT_EQ(a.passes, f.passes);
+    EXPECT_EQ(a.connectivity_cost, f.connectivity_cost);
+    expect_same_stats(active_telemetry, full_telemetry, "full-sweep");
+  }
+}
+
+TEST(KWayParallelPass, RoundsPerBarrierIsOutputNeutral) {
+  // The barrier batch size only decides which rounds engage the worker
+  // pool; the schedule itself is unchanged for every value.
+  const Hypergraph g = testing::small_random_circuit(71);
+  const NodeId k = 4;
+  const KWayBalanceWindow window = window_for(g, k);
+  std::vector<NodeId> want = random_parts(g, k, 4200);
+  const std::vector<NodeId> init = want;
+  KWayPropConfig reference = round_config(2);
+  const KWayPropOutcome want_out =
+      kway_prop_refine(g, want, k, window, reference);
+  for (const int rpb : {2, 3, 7}) {
+    std::vector<NodeId> got = init;
+    KWayPropConfig config = round_config(2);
+    config.rounds_per_barrier = rpb;
+    const KWayPropOutcome out = kway_prop_refine(g, got, k, window, config);
+    EXPECT_EQ(got, want) << "rounds_per_barrier=" << rpb;
+    EXPECT_EQ(out.passes, want_out.passes);
+    EXPECT_EQ(out.connectivity_cost, want_out.connectivity_cost);
+  }
+}
+
+TEST(KWayParallelPass, RoundEngineNeverWorsensEitherObjective) {
+  const Hypergraph g = testing::small_random_circuit(73);
+  const NodeId k = 4;
+  const KWayBalanceWindow window = window_for(g, k);
+  for (const KWayObjective objective :
+       {KWayObjective::kCut, KWayObjective::kConnectivity}) {
+    for (const int threads : {1, 2}) {
+      std::vector<NodeId> part = random_parts(g, k, 4300 + threads);
+      const KWayState before(g, part, k);
+      const double cost_before = objective == KWayObjective::kCut
+                                     ? before.cut_cost()
+                                     : before.connectivity_cost();
+      KWayPropConfig config = round_config(threads);
+      config.objective = objective;
+      const KWayPropOutcome out =
+          kway_prop_refine(g, part, k, window, config);
+      const KWayState after(g, part, k);
+      const double cost_after = objective == KWayObjective::kCut
+                                    ? after.cut_cost()
+                                    : after.connectivity_cost();
+      EXPECT_LE(cost_after, cost_before + 1e-9)
+          << "pass_threads=" << threads;
+      EXPECT_NEAR(objective == KWayObjective::kCut ? out.cut_cost
+                                                   : out.connectivity_cost,
+                  cost_after, 1e-9);
+      for (const NodeId p : part) EXPECT_LT(p, k);
+    }
+  }
+}
+
+TEST(KWayParallelPass, RoundEngineCountsRounds) {
+  const Hypergraph g = testing::small_random_circuit(79);
+  const NodeId k = 4;
+  const KWayBalanceWindow window = window_for(g, k);
+  std::vector<NodeId> part = random_parts(g, k, 4400);
+  RefineTelemetry telemetry;
+  KWayPropConfig config = round_config(2);
+  config.telemetry = &telemetry;
+  kway_prop_refine(g, part, k, window, config);
+  ASSERT_FALSE(telemetry.passes.empty());
+  EXPECT_GT(telemetry.passes.front().rounds, 0u);
+  // Each round commits at least one move (or ends the pass), so the round
+  // count never exceeds the speculative move count.
+  EXPECT_LE(telemetry.passes.front().rounds,
+            telemetry.passes.front().moves_attempted);
+}
+
+TEST(KWayParallelPass, SequentialEngineIsUntouchedByDefault) {
+  // pass_threads = 0 must keep producing exactly what the pre-round-engine
+  // sequential k-way path produced.
+  const Hypergraph g = testing::small_random_circuit(83);
+  const NodeId k = 4;
+  const KWayBalanceWindow window = window_for(g, k);
+  std::vector<NodeId> defaulted = random_parts(g, k, 4500);
+  std::vector<NodeId> explicit_zero = defaulted;
+  const KWayPropOutcome a =
+      kway_prop_refine(g, defaulted, k, window, KWayPropConfig{});
+  const KWayPropOutcome b =
+      kway_prop_refine(g, explicit_zero, k, window, round_config(0));
+  EXPECT_EQ(defaulted, explicit_zero);
+  EXPECT_EQ(a.passes, b.passes);
+  EXPECT_EQ(a.connectivity_cost, b.connectivity_cost);
+}
+
+}  // namespace
+}  // namespace prop

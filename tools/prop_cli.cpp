@@ -40,6 +40,7 @@ constexpr const char* kUsage =
     "          [--kway-refiner=prop|greedy|none]\n"
     "          [--kway-objective=cut|connectivity]\n"
     "          [--gain-engine=cached|scratch|shadow] [--pass-threads N]\n"
+    "          [--rounds-per-barrier N]\n"
     "          [--multilevel] [--ml-refiner=prop|fm] [--coarsest-max-nodes N]\n"
     "          [--seed N] [--threads N] [--out FILE]\n"
     "          [--stats-json FILE] [--stats-timing=0|1] [--list]\n"
@@ -60,7 +61,8 @@ int main(int argc, char** argv) {
                          {"hgr", "circuit", "algo", "runs", "balance", "k",
                           "kway-refiner", "kway-objective", "seed", "out",
                           "stats-json", "stats-timing", "list", "threads",
-                          "gain-engine", "pass-threads", "multilevel",
+                          "gain-engine", "pass-threads", "rounds-per-barrier",
+                          "multilevel",
                           "ml-refiner", "coarsest-max-nodes", "synth-nodes"},
                          kUsage)) {
     return 2;
@@ -116,6 +118,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --pass-threads must be in [0, 256]\n");
     return usage(argv[0]);
   }
+  // Round batching of the round engine: the pool is engaged only on every
+  // Nth round (output byte-identical for every N; DESIGN.md §4k).
+  const long long rounds_per_barrier = args.get_int_or("rounds-per-barrier", 1);
+  if (rounds_per_barrier < 1 || rounds_per_barrier > 1024) {
+    std::fprintf(stderr, "error: --rounds-per-barrier must be in [1, 1024]\n");
+    return usage(argv[0]);
+  }
   const long long k_arg = args.get_int_or("k", 2);
   if (k_arg < 2 || k_arg > 256) {
     std::fprintf(stderr, "error: --k must be in [2, 256]\n");
@@ -166,6 +175,8 @@ int main(int argc, char** argv) {
       config.objective = *kway_objective;
       config.refiner = *kway_refiner;
       config.prop.gain_engine = *gain_engine;
+      config.prop.pass_threads = static_cast<int>(pass_threads);
+      config.prop.rounds_per_barrier = static_cast<int>(rounds_per_barrier);
       config.coarsest_max_nodes = static_cast<prop::NodeId>(coarsest);
       algo = std::make_unique<prop::MultilevelKWayPartitioner>(config);
     } else {
@@ -182,6 +193,7 @@ int main(int argc, char** argv) {
       }
       config.prop.gain_engine = *gain_engine;
       config.prop.pass_threads = static_cast<int>(pass_threads);
+      config.prop.rounds_per_barrier = static_cast<int>(rounds_per_barrier);
       config.coarsest_max_nodes = static_cast<prop::NodeId>(coarsest);
       algo = std::make_unique<prop::MultilevelPartitioner>(config);
     }
@@ -189,9 +201,12 @@ int main(int argc, char** argv) {
     const std::string algo_name = args.get_or("algo", "prop");
     algo = k > 2 ? prop::service::make_kway_algo(
                        algo_name, k, *kway_refiner, *kway_objective,
-                       *gain_engine, static_cast<int>(pass_threads))
-                 : prop::service::make_algo(algo_name, *gain_engine,
-                                            static_cast<int>(pass_threads));
+                       *gain_engine, static_cast<int>(pass_threads),
+                       static_cast<int>(rounds_per_barrier))
+                 : prop::service::make_algo(
+                       algo_name, *gain_engine,
+                       static_cast<int>(pass_threads),
+                       static_cast<int>(rounds_per_barrier));
     if (!algo) {
       std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
       return usage(argv[0]);
